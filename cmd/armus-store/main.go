@@ -1,0 +1,35 @@
+// Command armus-store runs the shared data store used by distributed
+// deadlock detection (§5.2) — the stdlib stand-in for the paper's Redis.
+// Sites connect with armus.NewSite(id, addr).
+//
+// Usage:
+//
+//	armus-store -addr 127.0.0.1:7777
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"armus/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
+	flag.Parse()
+
+	srv, err := store.NewServer(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "armus-store:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("armus-store: listening on %s\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	fmt.Println("armus-store: bye")
+}

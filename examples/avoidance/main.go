@@ -1,0 +1,65 @@
+// Avoidance: the paper's running example WITH its bug — the driver stays
+// registered with the cyclic barrier while waiting on the join barrier
+// (Figures 1-2). Under deadlock avoidance the join raises *DeadlockError
+// instead of hanging; the program treats the error, applies the fix
+// (dropping the clock) and completes — "applications resilient to
+// deadlocks" (§5).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"armus"
+)
+
+const workers = 3
+
+func main() {
+	v := armus.New(armus.WithMode(armus.ModeAvoid))
+	defer v.Close()
+
+	driver := v.NewTask("driver")
+	clock := armus.NewClock(v, driver) // BUG: driver never advances or drops
+	join := armus.NewFinish(v, driver)
+
+	done := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		w := v.NewTask(fmt.Sprintf("worker%d", i))
+		if err := clock.Register(driver, w); err != nil {
+			log.Fatal(err)
+		}
+		if err := join.Register(w); err != nil {
+			log.Fatal(err)
+		}
+		go func(me *armus.Task) {
+			defer me.Terminate()
+			done <- clock.Advance(me) // blocks on the driver
+		}(w)
+	}
+
+	// Wait for the workers to block so the join closes the cycle.
+	for v.State().Len() < workers {
+		time.Sleep(time.Millisecond)
+	}
+
+	err := join.Wait()
+	var de *armus.DeadlockError
+	if !errors.As(err, &de) {
+		log.Fatalf("expected a deadlock, got: %v", err)
+	}
+	fmt.Println("avoided:", de)
+
+	// Recovery: apply the paper's fix at run time and retry the join.
+	if err := clock.Drop(driver); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-done; err != nil {
+			log.Fatalf("worker failed after recovery: %v", err)
+		}
+	}
+	fmt.Println("all workers completed after recovery")
+}

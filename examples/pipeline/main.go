@@ -1,0 +1,73 @@
+// Pipeline: the advanced phaser features on a realistic producer-consumer
+// pipeline — split-phase synchronisation (arrive now, await later; "fuzzy
+// barriers" / MPI non-blocking collectives) and awaiting a future phase
+// (HJ's awaitPhase), all under deadlock avoidance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"armus"
+)
+
+const batches = 5
+
+func main() {
+	v := armus.New(armus.WithMode(armus.ModeAvoid))
+	defer v.Close()
+
+	driver := v.NewTask("driver")
+	ph := v.NewPhaser(driver) // one phase per produced batch
+
+	producer := v.NewTask("producer")
+	if err := ph.Register(driver, producer); err != nil {
+		log.Fatal(err)
+	}
+	if err := ph.Deregister(driver); err != nil {
+		log.Fatal(err)
+	}
+
+	queue := make([]int, 0, batches)
+
+	// Producer: deposit a batch, then ARRIVE (non-blocking) — the phase
+	// advance publishes the batch — and immediately overlap production of
+	// the next batch with consumers draining this one (split-phase).
+	prodDone := make(chan error, 1)
+	go func() {
+		defer producer.Terminate()
+		for b := 1; b <= batches; b++ {
+			queue = append(queue, b*b) // produce
+			if _, err := ph.Arrive(producer); err != nil {
+				prodDone <- err
+				return
+			}
+			// ... overlapped work would go here ...
+		}
+		prodDone <- nil
+	}()
+
+	// Consumer: a pure observer (not registered) that awaits arbitrary
+	// FUTURE phases: batch k is ready once phase k is observed.
+	consumer := v.NewTask("consumer")
+	for b := 1; b <= batches; b++ {
+		if err := ph.AwaitPhase(consumer, int64(b)); err != nil {
+			log.Fatalf("consumer: %v", err)
+		}
+		fmt.Printf("batch %d ready: %d\n", b, queue[b-1])
+	}
+	if err := <-prodDone; err != nil {
+		log.Fatalf("producer: %v", err)
+	}
+
+	// Bonus: what avoidance buys us. A consumer that awaits a phase
+	// nobody will ever produce would hang forever; as a registered party
+	// it even deadlocks itself. Avoidance refuses the wait instead.
+	late := v.NewTask("late-party")
+	lateClock := v.NewPhaser(late) // late is the only member, at phase 0
+	if err := lateClock.AwaitPhase(late, 7); err != nil {
+		fmt.Println("avoided:", err)
+	} else {
+		log.Fatal("expected a self-deadlock to be avoided")
+	}
+}

@@ -1,0 +1,91 @@
+// Reduction: phaser accumulators (Shirako et al., the paper's reference
+// for parallel reduction on phasers) with HJ registration modes — workers
+// contribute a partial integral per iteration, read back the global sum,
+// and a wait-only monitor observes progress without ever gating the team.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"armus"
+)
+
+const (
+	workers = 4
+	rounds  = 8
+	samples = 100_000
+)
+
+func main() {
+	v := armus.New(armus.WithMode(armus.ModeAvoid))
+	defer v.Close()
+
+	main := v.NewTask("driver")
+	acc := armus.NewAccumulator(v, main, func(a, b float64) float64 { return a + b })
+
+	// A wait-only monitor: observes each phase's total, impedes nobody.
+	monitor := v.NewTask("monitor")
+	if err := acc.Phaser().RegisterMode(main, monitor, armus.WaitOnly); err != nil {
+		log.Fatal(err)
+	}
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		for r := 1; r <= rounds; r++ {
+			if err := acc.Phaser().AwaitPhase(monitor, int64(r)); err != nil {
+				log.Printf("monitor: %v", err)
+				return
+			}
+			fmt.Printf("round %d: integral so far = %.6f\n", r, acc.Get())
+		}
+	}()
+
+	tasks := make([]*armus.Task, workers)
+	for i := range tasks {
+		tasks[i] = v.NewTask(fmt.Sprintf("w%d", i))
+		if err := acc.Register(main, tasks[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := acc.Drop(main); err != nil { // driver must not gate the team
+		log.Fatal(err)
+	}
+
+	// Each round r integrates sin(x) over [0, pi/rounds * r) by summing
+	// worker partials; the accumulator combines them at the barrier.
+	done := make(chan error, workers)
+	for i := range tasks {
+		go func(id int, me *armus.Task) {
+			defer me.Terminate()
+			for r := 1; r <= rounds; r++ {
+				hi := math.Pi * float64(r) / rounds
+				lo := hi * float64(id) / workers
+				up := hi * float64(id+1) / workers
+				h := (up - lo) / samples
+				partial := 0.0
+				for s := 0; s < samples; s++ {
+					partial += math.Sin(lo+(float64(s)+0.5)*h) * h
+				}
+				if err := acc.Send(me, partial); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(i, tasks[i])
+	}
+	for range tasks {
+		if err := <-done; err != nil {
+			log.Fatal(err)
+		}
+	}
+	<-monitorDone
+
+	want := 1 - math.Cos(math.Pi) // = 2
+	if got := acc.Get(); math.Abs(got-want) > 1e-6 {
+		log.Fatalf("integral = %v, want %v", got, want)
+	}
+	fmt.Printf("final integral of sin over [0,pi] = %.6f (exact: 2)\n", acc.Get())
+}

@@ -1,0 +1,96 @@
+// Package accum implements phaser accumulators (Shirako et al., "Phaser
+// accumulators: a new reduction construct for dynamic parallelism",
+// IPDPS'09 — reference [35] of the paper): a reduction whose completion is
+// synchronised by a phaser, so contributions of phase k are combined and
+// become readable exactly at phase k+1, with dynamic membership inherited
+// from the phaser.
+//
+// Each registered task calls Send (contribute and arrive) once per phase;
+// the combined value of the previous phase is available through Get. The
+// paper's §2.2 expects reductions to favour the SG model — accumulator
+// traffic is many tasks on one phaser, the SPMD shape.
+package accum
+
+import (
+	"sync"
+
+	"armus/internal/core"
+)
+
+// Accumulator reduces per-phase contributions of type T under op.
+type Accumulator[T any] struct {
+	ph *core.Phaser
+	op func(a, b T) T
+
+	mu sync.Mutex
+	// pending is the running combination for the phase in progress.
+	pending    T
+	hasPending bool
+	// result is the combined value of the last completed phase.
+	result T
+	// committed is the highest phase folded into result.
+	committed int64
+}
+
+// New creates an accumulator bound to a fresh phaser whose creator is
+// registered. op must be associative and commutative (contribution order
+// is scheduling-dependent).
+func New[T any](v *core.Verifier, creator *core.Task, op func(a, b T) T) *Accumulator[T] {
+	return &Accumulator[T]{ph: v.NewPhaser(creator), op: op}
+}
+
+// Phaser exposes the underlying phaser (for Register/Deregister and for
+// split-phase use).
+func (a *Accumulator[T]) Phaser() *core.Phaser { return a.ph }
+
+// Register adds a contributing task, inheriting registrar's phase.
+func (a *Accumulator[T]) Register(registrar, child *core.Task) error {
+	return a.ph.Register(registrar, child)
+}
+
+// Drop revokes t's registration; remaining members' reductions no longer
+// wait for it.
+func (a *Accumulator[T]) Drop(t *core.Task) error { return a.ph.Deregister(t) }
+
+// Send contributes val for the current phase and completes the phase
+// barrier; when Send returns, the reduction for this phase is available
+// via Get to every member. Errors are the phaser's (including
+// *core.DeadlockError under avoidance).
+func (a *Accumulator[T]) Send(t *core.Task, val T) error {
+	a.mu.Lock()
+	if a.hasPending {
+		a.pending = a.op(a.pending, val)
+	} else {
+		a.pending = val
+		a.hasPending = true
+	}
+	a.mu.Unlock()
+	n, err := a.ph.Arrive(t)
+	if err != nil {
+		return err
+	}
+	if err := a.ph.AwaitPhase(t, n); err != nil {
+		return err
+	}
+	// First member out of the barrier commits the phase (cf. clocked
+	// variables: all members are inside Send while the barrier is open,
+	// so the commit is ordered before any Get of the new phase).
+	a.mu.Lock()
+	if a.committed < n && a.hasPending {
+		a.committed = n
+		a.result = a.pending
+		var zero T
+		a.pending = zero
+		a.hasPending = false
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+// Get returns the combined value of the last completed phase (the zero
+// value before the first completed phase).
+func (a *Accumulator[T]) Get() T {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.result
+}

@@ -1,0 +1,172 @@
+package accum
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"armus/internal/core"
+)
+
+func TestSoloSum(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	acc := New(v, main, func(a, b int) int { return a + b })
+	if got := acc.Get(); got != 0 {
+		t.Fatalf("initial Get = %d", got)
+	}
+	if err := acc.Send(main, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.Get(); got != 7 {
+		t.Fatalf("Get = %d, want 7", got)
+	}
+	if err := acc.Send(main, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.Get(); got != 3 {
+		t.Fatalf("phases must not leak into each other: Get = %d, want 3", got)
+	}
+}
+
+func TestTeamReductionPerPhase(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeOff, core.ModeDetect, core.ModeAvoid} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			v := core.New(core.WithMode(mode), core.WithPeriod(2*time.Millisecond))
+			defer v.Close()
+			const N, rounds = 6, 12
+			main := v.NewTask("main")
+			acc := New(v, main, func(a, b int) int { return a + b })
+			tasks := make([]*core.Task, N)
+			for i := range tasks {
+				tasks[i] = v.NewTask(fmt.Sprintf("t%d", i))
+				if err := acc.Register(main, tasks[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := acc.Drop(main); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for i := range tasks {
+				wg.Add(1)
+				go func(i int, me *core.Task) {
+					defer wg.Done()
+					defer me.Terminate()
+					for r := 0; r < rounds; r++ {
+						if err := acc.Send(me, i+r); err != nil {
+							t.Error(err)
+							return
+						}
+						want := 0
+						for j := 0; j < N; j++ {
+							want += j + r
+						}
+						if got := acc.Get(); got != want {
+							t.Errorf("round %d: Get = %d, want %d", r, got, want)
+							return
+						}
+					}
+				}(i, tasks[i])
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestMaxReduction(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	acc := New(v, main, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	w := v.NewTask("w")
+	if err := acc.Register(main, w); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		if err := acc.Send(w, 2.5); err != nil {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+	if err := acc.Send(main, 9.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.Get(); got != 9.5 {
+		t.Fatalf("max = %g", got)
+	}
+}
+
+// TestAccumulatorDeadlockAvoided: a member that never Sends deadlocks the
+// others; avoidance reports it instead of hanging.
+func TestAccumulatorDeadlockAvoided(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	acc := New(v, main, func(a, b int) int { return a + b })
+	silent := v.NewTask("silent")
+	if err := acc.Register(main, silent); err != nil {
+		t.Fatal(err)
+	}
+	other := v.NewPhaser(silent) // silent blocks on its own phaser...
+	if err := other.Register(silent, main); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, _ = other.Arrive(silent)
+		errCh <- other.AwaitAdvance(silent) // waits for main
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for v.State().Len() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("silent never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ... and main's Send waits for silent: a 2-cycle.
+	err := acc.Send(main, 1)
+	var de *core.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("Send = %v, want DeadlockError", err)
+	}
+	// Recovery: drop the dead member and observe the system unwind.
+	if err := other.Deregister(main); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringConcatNonNumeric(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeOff))
+	defer v.Close()
+	main := v.NewTask("main")
+	acc := New(v, main, func(a, b string) string {
+		if a == "" {
+			return b
+		}
+		return a + "|" + b
+	})
+	if err := acc.Send(main, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.Get(); got != "x" {
+		t.Fatalf("Get = %q", got)
+	}
+}

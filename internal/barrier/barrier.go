@@ -1,0 +1,168 @@
+// Package barrier derives the classical barrier abstractions of §2 of the
+// paper — X10 clocks, cyclic barriers, join barriers (finish) and countdown
+// latches — from the general phaser of package core. Every abstraction is a
+// thin wrapper: the paper's central observation is that phasers subsume all
+// of them, so deadlock verification implemented once for phasers covers the
+// whole zoo.
+//
+// As in JArmus, the task <-> barrier relationship is explicit: each
+// participating task is registered with the barrier, which is exactly the
+// information the Java APIs leave implicit and that verification requires
+// (§5.3).
+package barrier
+
+import "armus/internal/core"
+
+// Clock is an X10 clock: a phaser whose members advance in lockstep.
+// The creating task is registered, as with X10's Clock.make().
+type Clock struct {
+	ph *core.Phaser
+}
+
+// NewClock creates a clock with creator registered.
+func NewClock(v *core.Verifier, creator *core.Task) *Clock {
+	return &Clock{ph: v.NewPhaser(creator)}
+}
+
+// Phaser exposes the underlying phaser.
+func (c *Clock) Phaser() *core.Phaser { return c.ph }
+
+// Register registers child with the clock, inheriting registrar's phase —
+// X10's `async clocked(c)`.
+func (c *Clock) Register(registrar, child *core.Task) error {
+	return c.ph.Register(registrar, child)
+}
+
+// Advance arrives and waits for all members — X10's c.advance().
+func (c *Clock) Advance(t *core.Task) error { return c.ph.Advance(t) }
+
+// Resume signals arrival without waiting — X10's c.resume(), the first half
+// of a split-phase synchronisation; complete it with Advance or Await.
+func (c *Clock) Resume(t *core.Task) (int64, error) { return c.ph.Arrive(t) }
+
+// Await completes a split-phase synchronisation begun by Resume.
+func (c *Clock) Await(t *core.Task) error { return c.ph.AwaitAdvance(t) }
+
+// Drop revokes t's membership — X10's c.drop().
+func (c *Clock) Drop(t *core.Task) error { return c.ph.Deregister(t) }
+
+// CyclicBarrier is the Java java.util.concurrent.CyclicBarrier shape: a
+// reusable barrier for an explicit group of parties. Parties must Register
+// before their first Await (JArmus.register).
+type CyclicBarrier struct {
+	ph *core.Phaser
+}
+
+// NewCyclicBarrier creates a barrier owned (and initially joined) by owner.
+// If the owner is not a party, it must Leave before the parties start
+// synchronising — the very mistake the paper's running example makes.
+func NewCyclicBarrier(v *core.Verifier, owner *core.Task) *CyclicBarrier {
+	return &CyclicBarrier{ph: v.NewPhaser(owner)}
+}
+
+// Phaser exposes the underlying phaser.
+func (b *CyclicBarrier) Phaser() *core.Phaser { return b.ph }
+
+// Register adds a party (the registrar must already be a party).
+func (b *CyclicBarrier) Register(registrar, party *core.Task) error {
+	return b.ph.Register(registrar, party)
+}
+
+// Await blocks until all parties arrive — CyclicBarrier.await().
+func (b *CyclicBarrier) Await(t *core.Task) error { return b.ph.Advance(t) }
+
+// Leave removes a party.
+func (b *CyclicBarrier) Leave(t *core.Task) error { return b.ph.Deregister(t) }
+
+// Finish is the X10 join barrier: finish { async ... } waits for every
+// spawned task (and is itself a phaser, as in the paper's Figure 3 where
+// the join barrier is the phaser pb).
+type Finish struct {
+	ph     *core.Phaser
+	parent *core.Task
+	v      *core.Verifier
+}
+
+// NewFinish opens a finish scope for parent.
+func NewFinish(v *core.Verifier, parent *core.Task) *Finish {
+	return &Finish{ph: v.NewPhaser(parent), parent: parent, v: v}
+}
+
+// Phaser exposes the underlying phaser.
+func (f *Finish) Phaser() *core.Phaser { return f.ph }
+
+// Spawn registers a fresh task with the join barrier and runs fn on a new
+// goroutine; when fn returns the task arrives-and-deregisters, signalling
+// termination to the join (the pattern of Figure 2, line 14). The task is
+// also fully terminated (deregistered from every phaser) like an X10
+// activity.
+func (f *Finish) Spawn(name string, fn func(*core.Task)) error {
+	child := f.v.NewTask(name)
+	if err := f.ph.Register(f.parent, child); err != nil {
+		return err
+	}
+	go func() {
+		defer child.Terminate() // includes ArriveAndDeregister on f.ph
+		fn(child)
+	}()
+	return nil
+}
+
+// Register enrols an externally created task in the join scope; the task
+// must Terminate (or ArriveAndDeregister on Phaser()) when done.
+func (f *Finish) Register(child *core.Task) error {
+	return f.ph.Register(f.parent, child)
+}
+
+// Wait blocks the parent until every spawned task has terminated, then
+// closes the finish scope. In avoidance mode it returns *DeadlockError
+// instead of deadlocking (e.g. when a child transitively waits for the
+// parent).
+func (f *Finish) Wait() error {
+	if _, err := f.ph.Arrive(f.parent); err != nil {
+		return err
+	}
+	if err := f.ph.AwaitAdvance(f.parent); err != nil {
+		return err
+	}
+	return f.ph.Deregister(f.parent)
+}
+
+// CountDownLatch is the Java CountDownLatch shape on phasers: counting
+// tasks are registered parties; CountDown arrives-and-deregisters; Await
+// observes phase 1, which becomes true exactly when every registered
+// counter has counted down (the empty phaser satisfies every await).
+type CountDownLatch struct {
+	ph *core.Phaser
+}
+
+// NewCountDownLatch creates a latch; owner is registered only to bootstrap
+// registration and must not count down — call Detach(owner) once all
+// counting parties are registered.
+func NewCountDownLatch(v *core.Verifier, owner *core.Task) *CountDownLatch {
+	return &CountDownLatch{ph: v.NewPhaser(owner)}
+}
+
+// Phaser exposes the underlying phaser.
+func (l *CountDownLatch) Phaser() *core.Phaser { return l.ph }
+
+// Register adds a counting party.
+func (l *CountDownLatch) Register(registrar, party *core.Task) error {
+	return l.ph.Register(registrar, party)
+}
+
+// Detach removes the bootstrap owner so only genuine counters remain.
+func (l *CountDownLatch) Detach(owner *core.Task) error {
+	return l.ph.Deregister(owner)
+}
+
+// CountDown signals that t's contribution is done.
+func (l *CountDownLatch) CountDown(t *core.Task) error {
+	return l.ph.ArriveAndDeregister(t)
+}
+
+// Await blocks until every counting party has counted down. The waiter is
+// a pure observer and need not be registered.
+func (l *CountDownLatch) Await(t *core.Task) error {
+	return l.ph.AwaitPhase(t, 1)
+}

@@ -1,0 +1,280 @@
+package barrier
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"armus/internal/core"
+)
+
+func TestClockLockstep(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeDetect), core.WithPeriod(5*time.Millisecond))
+	defer v.Close()
+	main := v.NewTask("main")
+	c := NewClock(v, main)
+	const N, J = 6, 40
+	var phase [N]int64
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		w := v.NewTask(fmt.Sprintf("w%d", i))
+		if err := c.Register(main, w); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, me *core.Task) {
+			defer wg.Done()
+			for j := 0; j < J; j++ {
+				if err := c.Advance(me); err != nil {
+					t.Error(err)
+					return
+				}
+				// All other workers are within one phase of us.
+				for k := 0; k < N; k++ {
+					d := atomic.LoadInt64(&phase[k]) - int64(j)
+					if d < -1 || d > 1 {
+						t.Errorf("phase skew: worker %d at %d, worker %d at %d", i, j, k, d+int64(j))
+					}
+				}
+				atomic.StoreInt64(&phase[i], int64(j+1))
+			}
+			_ = c.Drop(me)
+		}(i, w)
+	}
+	if err := c.Drop(main); err != nil { // the running example's fix
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestClockSplitPhaseResume(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	c := NewClock(v, main)
+	w := v.NewTask("w")
+	if err := c.Register(main, w); err != nil {
+		t.Fatal(err)
+	}
+	var overlapped atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		if _, err := c.Resume(w); err != nil { // initiate
+			done <- err
+			return
+		}
+		overlapped.Store(true) // work during the open synchronisation
+		done <- c.Await(w)     // complete
+	}()
+	if err := c.Advance(main); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !overlapped.Load() {
+		t.Fatal("no overlap in split-phase synchronisation")
+	}
+}
+
+func TestFinishJoinsAllChildren(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	f := NewFinish(v, main)
+	var done atomic.Int64
+	const N = 8
+	for i := 0; i < N; i++ {
+		if err := f.Spawn(fmt.Sprintf("c%d", i), func(me *core.Task) {
+			time.Sleep(time.Millisecond)
+			done.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if done.Load() != N {
+		t.Fatalf("finish released early: %d/%d", done.Load(), N)
+	}
+	if f.Phaser().NumMembers() != 0 {
+		t.Fatal("finish scope not fully closed")
+	}
+}
+
+func TestNestedFinish(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	outer := NewFinish(v, main)
+	var order []string
+	var mu sync.Mutex
+	record := func(s string) { mu.Lock(); order = append(order, s); mu.Unlock() }
+	err := outer.Spawn("mid", func(mid *core.Task) {
+		inner := NewFinish(v, mid)
+		_ = inner.Spawn("leaf", func(*core.Task) {
+			time.Sleep(time.Millisecond)
+			record("leaf")
+		})
+		if err := inner.Wait(); err != nil {
+			t.Error(err)
+			return
+		}
+		record("mid")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := outer.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	record("outer")
+	want := []string{"leaf", "mid", "outer"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFinishAvoidsSelfJoin: a child that waits on its own finish scope's
+// parent deadlocks; the avoidance mode must refuse the parent's Wait or the
+// child's Advance rather than hanging.
+func TestFinishDeadlockAvoided(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	f := NewFinish(v, main)
+	c := NewClock(v, main) // main registered; never advances: the bug
+	childErr := make(chan error, 1)
+	child := v.NewTask("clocked-child")
+	if err := f.Register(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(main, child); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer child.Terminate()
+		childErr <- c.Advance(child) // stuck: main never advances c
+	}()
+	// Wait for the child to block on the clock.
+	deadline := time.Now().Add(5 * time.Second)
+	for v.State().Len() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("child never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	err := f.Wait() // closes the cycle: main waits child, child waits main
+	var de *core.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("Wait returned %v, want DeadlockError", err)
+	}
+	_ = c.Drop(main) // recovery: child unblocks and terminates
+	if e := <-childErr; e != nil {
+		var cde *core.DeadlockError
+		if !errors.As(e, &cde) {
+			t.Fatalf("child error: %v", e)
+		}
+	}
+}
+
+func TestCyclicBarrierRounds(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeDetect), core.WithPeriod(5*time.Millisecond))
+	defer v.Close()
+	main := v.NewTask("main")
+	b := NewCyclicBarrier(v, main)
+	const N, J = 4, 25
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		w := v.NewTask(fmt.Sprintf("p%d", i))
+		if err := b.Register(main, w); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(me *core.Task) {
+			defer wg.Done()
+			for j := 0; j < J; j++ {
+				sum.Add(1)
+				if err := b.Await(me); err != nil {
+					t.Error(err)
+					return
+				}
+				// After each round the count is a multiple of N.
+				if got := sum.Load(); got%N != 0 && got < int64(N*(j+1)) {
+					t.Errorf("barrier leak: sum=%d at round %d", got, j)
+					return
+				}
+			}
+			_ = b.Leave(me)
+		}(w)
+	}
+	if err := b.Leave(main); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if sum.Load() != N*J {
+		t.Fatalf("sum = %d, want %d", sum.Load(), N*J)
+	}
+}
+
+func TestCountDownLatch(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeDetect), core.WithPeriod(time.Hour))
+	defer v.Close()
+	main := v.NewTask("main")
+	l := NewCountDownLatch(v, main)
+	const N = 5
+	counters := make([]*core.Task, N)
+	for i := range counters {
+		counters[i] = v.NewTask(fmt.Sprintf("k%d", i))
+		if err := l.Register(main, counters[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Detach(main); err != nil {
+		t.Fatal(err)
+	}
+	var fired atomic.Int64
+	got := make(chan error, 1)
+	go func() {
+		err := l.Await(main)
+		if fired.Load() != N {
+			t.Errorf("latch released after %d countdowns", fired.Load())
+		}
+		got <- err
+	}()
+	for i := range counters {
+		time.Sleep(time.Millisecond)
+		fired.Add(1)
+		if err := l.CountDown(counters[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	// A latch already at zero releases immediately.
+	if err := l.Await(main); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnFromUnregisteredParentFails(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeOff))
+	defer v.Close()
+	main := v.NewTask("main")
+	f := NewFinish(v, main)
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// The scope is closed; the parent is no longer registered.
+	if err := f.Spawn("late", func(*core.Task) {}); !errors.Is(err, core.ErrNotRegistered) {
+		t.Fatalf("Spawn on closed finish: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+// Package clocked implements clocked variables in the style of Atkins,
+// Potanin and Groves ("The design and implementation of clocked variables
+// in X10", ACSC'13), the abstraction used by the course benchmarks of §6.3
+// (SE, FI, FR): a memory cell whose reads and writes are mediated by
+// barrier synchronisation.
+//
+// A clocked variable pairs a value with its own clock (phaser). Within a
+// phase, Get returns the committed value and Set buffers the next value;
+// Advance synchronises all registered tasks and commits the buffered value,
+// so readers in phase k+1 see the last write of phase k and data races are
+// impossible by construction.
+package clocked
+
+import (
+	"sync"
+
+	"armus/internal/core"
+)
+
+// Var is a clocked variable of type T with its own clock.
+type Var[T any] struct {
+	ph *core.Phaser
+
+	mu        sync.Mutex
+	current   T
+	next      T
+	hasNext   bool
+	committed int64 // highest phase whose writes are committed into current
+}
+
+// New creates a clocked variable holding init, with creator registered on
+// its clock.
+func New[T any](v *core.Verifier, creator *core.Task, init T) *Var[T] {
+	return &Var[T]{ph: v.NewPhaser(creator), current: init, next: init}
+}
+
+// Phaser exposes the variable's clock for advanced uses (split-phase).
+func (cv *Var[T]) Phaser() *core.Phaser { return cv.ph }
+
+// Register registers child with the variable's clock (inheriting
+// registrar's phase), enabling it to Get/Set/Advance.
+func (cv *Var[T]) Register(registrar, child *core.Task) error {
+	return cv.ph.Register(registrar, child)
+}
+
+// Drop revokes t's registration. A dropped task no longer holds up commits.
+func (cv *Var[T]) Drop(t *core.Task) error { return cv.ph.Deregister(t) }
+
+// Get returns the value committed at the last advance.
+func (cv *Var[T]) Get() T {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	return cv.current
+}
+
+// Set buffers x as the value for the next phase. The last Set of a phase
+// wins, as in the X10 design.
+func (cv *Var[T]) Set(x T) {
+	cv.mu.Lock()
+	cv.next = x
+	cv.hasNext = true
+	cv.mu.Unlock()
+}
+
+// Advance synchronises with all registered tasks and commits the buffered
+// write. Every registered task must call Advance to complete the phase; the
+// commit is performed exactly once per phase, by whichever task returns
+// from the barrier first (the commit is ordered before any Get of the new
+// phase because all members are inside Advance while the barrier is open).
+func (cv *Var[T]) Advance(t *core.Task) error {
+	n, err := cv.ph.Arrive(t)
+	if err != nil {
+		return err
+	}
+	if err := cv.ph.AwaitPhase(t, n); err != nil {
+		return err
+	}
+	cv.mu.Lock()
+	if cv.committed < n {
+		cv.committed = n
+		if cv.hasNext {
+			cv.current = cv.next
+			cv.hasNext = false
+		}
+	}
+	cv.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,195 @@
+package clocked
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"armus/internal/core"
+)
+
+func TestSingleTaskCommit(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	cv := New(v, main, 10)
+	if got := cv.Get(); got != 10 {
+		t.Fatalf("initial Get = %d", got)
+	}
+	cv.Set(20)
+	if got := cv.Get(); got != 10 {
+		t.Fatalf("Set visible before Advance: %d", got)
+	}
+	if err := cv.Advance(main); err != nil {
+		t.Fatal(err)
+	}
+	if got := cv.Get(); got != 20 {
+		t.Fatalf("Get after Advance = %d, want 20", got)
+	}
+	// A phase without writes keeps the current value.
+	if err := cv.Advance(main); err != nil {
+		t.Fatal(err)
+	}
+	if got := cv.Get(); got != 20 {
+		t.Fatalf("value lost on write-free phase: %d", got)
+	}
+}
+
+func TestTwoTasksNeverSeeTornPhase(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeDetect), core.WithPeriod(5*time.Millisecond))
+	defer v.Close()
+	main := v.NewTask("main")
+	cv := New(v, main, 0)
+	w := v.NewTask("w")
+	if err := cv.Register(main, w); err != nil {
+		t.Fatal(err)
+	}
+	const J = 50
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	// Writer: sets j+1 in phase j. Reader: in phase j+1 must read j+1.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < J; j++ {
+			cv.Set(j + 1)
+			if err := cv.Advance(main); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for j := 0; j < J; j++ {
+			if err := cv.Advance(w); err != nil {
+				errs <- err
+				return
+			}
+			if got := cv.Get(); got != j+1 {
+				errs <- fmt.Errorf("phase %d read %d", j+1, got)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestChainOfClockedVars(t *testing.T) {
+	// A systolic chain: cell i reads var[i-1] and writes var[i], all in
+	// lockstep — the FI benchmark's shape in miniature.
+	v := core.New(core.WithMode(core.ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	const N, J = 5, 8
+	vars := make([]*Var[int], N+1)
+	for i := range vars {
+		vars[i] = New(v, main, 0)
+	}
+	vars[0].Set(1)
+	tasks := make([]*core.Task, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		tasks[i] = v.NewTask(fmt.Sprintf("cell%d", i))
+		// Cell i participates in the clocks of its input and output vars.
+		if err := vars[i].Register(main, tasks[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := vars[i+1].Register(main, tasks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range vars {
+		if err := vars[i].Drop(main); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// vars[0] now has only cell0 registered; vars[N] only cell N-1; inner
+	// vars have two cells each. Note main seeded vars[0].next before
+	// dropping; the first advance commits it.
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int, me *core.Task) {
+			defer wg.Done()
+			defer me.Terminate()
+			for j := 0; j < J; j++ {
+				if err := vars[i].Advance(me); err != nil {
+					t.Error(err)
+					return
+				}
+				x := vars[i].Get()
+				vars[i+1].Set(x)
+				if err := vars[i+1].Advance(me); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i, tasks[i])
+	}
+	wg.Wait()
+	if got := vars[N].Get(); got != 1 {
+		t.Fatalf("value did not propagate down the chain: %d", got)
+	}
+}
+
+func TestAdvanceByUnregisteredTaskFails(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeOff))
+	defer v.Close()
+	main := v.NewTask("main")
+	cv := New(v, main, 0)
+	stranger := v.NewTask("stranger")
+	if err := cv.Advance(stranger); !errors.Is(err, core.ErrNotRegistered) {
+		t.Fatalf("Advance by stranger: %v", err)
+	}
+}
+
+func TestDropStopsHoldingCommits(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	cv := New(v, main, 0)
+	w := v.NewTask("w")
+	if err := cv.Register(main, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := cv.Drop(main); err != nil {
+		t.Fatal(err)
+	}
+	// w is now alone; its advances must not block.
+	cv.Set(7)
+	if err := cv.Advance(w); err != nil {
+		t.Fatal(err)
+	}
+	if got := cv.Get(); got != 7 {
+		t.Fatalf("Get = %d, want 7", got)
+	}
+}
+
+func TestGenericTypes(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeOff))
+	defer v.Close()
+	main := v.NewTask("main")
+	cs := New(v, main, "a")
+	cs.Set("b")
+	if err := cs.Advance(main); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Get() != "b" {
+		t.Fatalf("string var Get = %q", cs.Get())
+	}
+	type pair struct{ x, y float64 }
+	cp := New(v, main, pair{1, 2})
+	cp.Set(pair{3, 4})
+	if err := cp.Advance(main); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Get() != (pair{3, 4}) {
+		t.Fatalf("struct var Get = %+v", cp.Get())
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"armus/internal/deps"
+)
+
+// TestSignalOnlyNeverWaits: a SIG-mode producer may always run ahead; its
+// wait operations are programming errors.
+func TestSignalOnlyNeverWaits(t *testing.T) {
+	v := New(WithMode(ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	p := v.NewPhaser(main)
+	prod := v.NewTask("producer")
+	if err := p.RegisterMode(main, prod, SignalOnly); err != nil {
+		t.Fatal(err)
+	}
+	// The producer can arrive many times without anyone waiting on it.
+	for i := 0; i < 5; i++ {
+		if _, err := p.Arrive(prod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, wait := range []func() error{
+		func() error { return p.Advance(prod) },
+		func() error { return p.AwaitAdvance(prod) },
+		func() error { return p.AwaitPhase(prod, 1) },
+	} {
+		if err := wait(); !errors.Is(err, ErrSignalOnlyWait) {
+			t.Fatalf("signal-only wait: %v", err)
+		}
+	}
+	if m, ok := p.Mode(prod); !ok || m != SignalOnly {
+		t.Fatalf("Mode = %v,%v", m, ok)
+	}
+}
+
+// TestWaitOnlyNeverGates: a WAIT-mode consumer lagging behind must not
+// block the signal-capable members' synchronisation.
+func TestWaitOnlyNeverGates(t *testing.T) {
+	v := New(WithMode(ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	p := v.NewPhaser(main)
+	other := v.NewTask("other")
+	cons := v.NewTask("consumer")
+	if err := p.Register(main, other); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterMode(main, cons, WaitOnly); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Advance(other) }()
+	// Main and other synchronise even though the consumer never arrives.
+	if err := p.Advance(main); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The consumer can now observe the phase it missed.
+	if err := p.Advance(cons); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProducerConsumerModes is the HJ bounded producer-consumer of §8
+// (future work): a SIG producer paces WAIT consumers through a phaser.
+func TestProducerConsumerModes(t *testing.T) {
+	v := New(WithMode(ModeAvoid))
+	defer v.Close()
+	main := v.NewTask("main")
+	p := v.NewPhaser(main)
+	prod := v.NewTask("producer")
+	if err := p.RegisterMode(main, prod, SignalOnly); err != nil {
+		t.Fatal(err)
+	}
+	const items = 8
+	buf := make([]int, 0, items)
+	consumed := make(chan []int, 1)
+	cons := v.NewTask("consumer")
+	if err := p.RegisterMode(main, cons, WaitOnly); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Deregister(main); err != nil { // only prod gates now
+		t.Fatal(err)
+	}
+	go func() {
+		var got []int
+		for i := 1; i <= items; i++ {
+			if err := p.AwaitPhase(cons, int64(i)); err != nil {
+				t.Error(err)
+				return
+			}
+			got = append(got, buf[i-1])
+		}
+		consumed <- got
+	}()
+	for i := 1; i <= items; i++ {
+		buf = append(buf, i*i)
+		if _, err := p.Arrive(prod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case got := <-consumed:
+		for i, x := range got {
+			if x != (i+1)*(i+1) {
+				t.Fatalf("consumed[%d] = %d", i, x)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer starved")
+	}
+}
+
+// TestWaitOnlyDoesNotImpede: two wait-only tasks blocked on each other's
+// phasers must NOT be reported as a deadlock — neither impedes anything;
+// the signal-capable producers can still release both.
+func TestWaitOnlyDoesNotImpede(t *testing.T) {
+	v := New(WithMode(ModeDetect), WithPeriod(time.Hour))
+	defer v.Close()
+	main := v.NewTask("main")
+	pa := v.NewPhaser(main) // main is the (runnable) signaller of both
+	pb := v.NewPhaser(main)
+	w1 := v.NewTask("w1")
+	w2 := v.NewTask("w2")
+	if err := pa.RegisterMode(main, w1, WaitOnly); err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.RegisterMode(main, w1, WaitOnly); err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.RegisterMode(main, w2, WaitOnly); err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.RegisterMode(main, w2, WaitOnly); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = pa.AwaitPhase(w1, 1) }()
+	go func() { _ = pb.AwaitPhase(w2, 1) }()
+	waitBlocked(t, v, 2)
+	if e := v.CheckNow(); e != nil {
+		t.Fatalf("false deadlock among wait-only tasks: %v", e)
+	}
+	// Release both.
+	if _, err := pa.Arrive(main); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pb.Arrive(main); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSigWaitStillImpedes is the control for the previous test: the same
+// topology with SigWait registrations IS a deadlock.
+func TestSigWaitStillImpedes(t *testing.T) {
+	v := New(WithMode(ModeDetect), WithPeriod(time.Hour))
+	defer v.Close()
+	main := v.NewTask("main")
+	pa := v.NewPhaser(main)
+	pb := v.NewPhaser(main)
+	w1 := v.NewTask("w1")
+	w2 := v.NewTask("w2")
+	for _, reg := range []struct {
+		p *Phaser
+		t *Task
+	}{{pa, w1}, {pb, w1}, {pa, w2}, {pb, w2}} {
+		if err := reg.p.Register(main, reg.t); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pa.Deregister(main); err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.Deregister(main); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _ = pa.Arrive(w1)
+		_ = pa.AwaitAdvance(w1) // waits for w2 on pa
+	}()
+	go func() {
+		_, _ = pb.Arrive(w2)
+		_ = pb.AwaitAdvance(w2) // waits for w1 on pb
+	}()
+	waitBlocked(t, v, 2)
+	e := v.CheckNow()
+	if e == nil {
+		t.Fatal("genuine cross-phaser deadlock missed")
+	}
+	// Clean up: deregister the laggards.
+	_ = pa.Deregister(w2)
+	_ = pb.Deregister(w1)
+}
+
+// TestWaitOnlyRegsExcludedFromStatus checks the analysis-facing contract
+// directly: a blocked task's wait-only registrations do not appear in its
+// impedes vector.
+func TestWaitOnlyRegsExcludedFromStatus(t *testing.T) {
+	v := New(WithMode(ModeDetect), WithPeriod(time.Hour))
+	defer v.Close()
+	main := v.NewTask("main")
+	p1 := v.NewPhaser(main)
+	p2 := v.NewPhaser(main)
+	w := v.NewTask("w")
+	if err := p1.Register(main, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.RegisterMode(main, w, WaitOnly); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _ = p1.Arrive(w)
+		_ = p1.AwaitAdvance(w)
+	}()
+	waitBlocked(t, v, 1)
+	snap := v.State().Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("blocked = %d", len(snap))
+	}
+	for _, reg := range snap[0].Regs {
+		if reg.Phaser == deps.PhaserID(p2.ID()) {
+			t.Fatalf("wait-only registration leaked into impedes vector: %+v", snap[0])
+		}
+	}
+	_ = p1.Deregister(main)
+}
+
+func TestRegModeString(t *testing.T) {
+	cases := map[RegMode]string{
+		SigWait: "sig-wait", SignalOnly: "signal-only", WaitOnly: "wait-only",
+		RegMode(7): "regmode(7)",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Fatalf("RegMode.String() = %q, want %q", m.String(), want)
+		}
+	}
+}
+
+// TestWaitOnlyChurn stresses membership bookkeeping with mixed modes under
+// the race detector.
+func TestWaitOnlyChurn(t *testing.T) {
+	v := New(WithMode(ModeDetect), WithPeriod(time.Millisecond))
+	defer v.Close()
+	main := v.NewTask("main")
+	p := v.NewPhaser(main)
+	const rounds = 30
+	done := make(chan error, 2)
+	sig := v.NewTask("sig")
+	if err := p.Register(main, sig); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < rounds; i++ {
+			if err := p.Advance(sig); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < rounds; i++ {
+			w := v.NewTask("transient")
+			if err := p.RegisterMode(main, w, WaitOnly); err != nil {
+				done <- err
+				return
+			}
+			if err := p.Deregister(w); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < rounds; i++ {
+			if err := p.Advance(main); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"armus/internal/deps"
+)
+
+// Task is the unit of execution the verifier reasons about. A Task is
+// normally bound to one goroutine (use Verifier.Go), but the binding is by
+// convention: the runtime only requires that a task's blocking operations
+// are not issued concurrently with each other.
+//
+// A task carries its registration vector — for each phaser it is registered
+// with, its local phase. This vector is exactly the information a blocked
+// task contributes to the analysis (§2.2, "event-based concurrency
+// dependencies"): the task's blocked status is a pure function of its own
+// vector, independent of any other task.
+type Task struct {
+	id deps.TaskID
+	v  *Verifier
+
+	mu   sync.Mutex
+	regs map[*Phaser]*registration
+	// blockedOn is non-nil while the task has a blocked record in the
+	// verifier state; Register uses it to refresh the record when a third
+	// party registers a blocked task with a new phaser.
+	blockedOn []deps.Resource
+	done      bool
+}
+
+// registration is the shared per-(task, phaser) record. The phase is
+// written under the phaser's lock and read via atomic load when a blocked
+// status is assembled.
+type registration struct {
+	phaser *Phaser
+	mode   RegMode
+	phase  atomic.Int64
+}
+
+// NewTask mints a task. The name is used in deadlock reports.
+func (v *Verifier) NewTask(name string) *Task {
+	id := deps.TaskID(v.taskBase + v.nextTask.Add(1))
+	if name != "" {
+		v.namesMu.Lock()
+		v.names[id] = name
+		v.namesMu.Unlock()
+	}
+	return &Task{id: id, v: v, regs: make(map[*Phaser]*registration)}
+}
+
+// Go spawns fn on a new goroutine bound to a fresh task. When fn returns,
+// the task is terminated: it deregisters from every phaser it is still
+// registered with, exactly like X10/HJ task termination (§7, "deadlock
+// avoidance": deregistering on termination mitigates missing-participant
+// deadlocks). The returned channel closes when fn has returned and the
+// task is terminated.
+func (v *Verifier) Go(name string, fn func(*Task)) <-chan struct{} {
+	t := v.NewTask(name)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer t.Terminate()
+		fn(t)
+	}()
+	return done
+}
+
+// ID returns the task's verifier-unique identifier.
+func (t *Task) ID() deps.TaskID { return t.id }
+
+// Name returns the task's report name ("" if unnamed).
+func (t *Task) Name() string {
+	t.v.namesMu.RLock()
+	defer t.v.namesMu.RUnlock()
+	return t.v.names[t.id]
+}
+
+// Terminate deregisters the task from every phaser it is still registered
+// with. It is idempotent and is called automatically by Verifier.Go.
+func (t *Task) Terminate() {
+	for {
+		t.mu.Lock()
+		if t.done && len(t.regs) == 0 {
+			t.mu.Unlock()
+			return
+		}
+		t.done = true
+		var p *Phaser
+		for q := range t.regs {
+			p = q
+			break
+		}
+		t.mu.Unlock()
+		if p == nil {
+			return
+		}
+		// Deregister acquires p.mu then t.mu; we must not hold t.mu here.
+		_ = p.Deregister(t)
+	}
+}
+
+// Registrations returns the task's current registration vector, sorted by
+// phaser ID: the "impedes" half of its blocked status.
+func (t *Task) Registrations() []deps.Reg {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.regsLocked()
+}
+
+func (t *Task) regsLocked() []deps.Reg {
+	out := t.rawRegsLocked()
+	sort.Slice(out, func(i, j int) bool { return out[i].Phaser < out[j].Phaser })
+	return out
+}
+
+// rawRegsLocked collects the registration vector without sorting — the
+// analysis does not need an order, and this runs on every block, so the
+// sort is kept out of the hot path. Wait-only registrations are excluded:
+// a wait-only task never gates an await, so it impedes nothing (this is
+// precisely the per-participant knowledge §5.3 says the original phaser
+// semantics need).
+func (t *Task) rawRegsLocked() []deps.Reg {
+	out := make([]deps.Reg, 0, len(t.regs))
+	for p, r := range t.regs {
+		if r.mode == WaitOnly {
+			continue
+		}
+		out = append(out, deps.Reg{Phaser: p.id, Phase: r.phase.Load()})
+	}
+	return out
+}
+
+// blockedStatus assembles the task's blocked status for the given awaited
+// events.
+func (t *Task) blockedStatus(waits []deps.Resource) deps.Blocked {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.blockedOn = waits
+	return deps.Blocked{Task: t.id, WaitsFor: waits, Regs: t.rawRegsLocked()}
+}
+
+// clearBlocked removes the task's blocked record. Must be called before
+// the task performs any further phaser mutation — the detector's
+// no-false-positive argument relies on blocked records always describing
+// the task's true (frozen) phase vector.
+func (t *Task) clearBlocked() {
+	t.mu.Lock()
+	t.blockedOn = nil
+	t.mu.Unlock()
+	t.v.state.Clear(t.id)
+}
+
+// refreshBlockedLocked re-publishes the blocked record after a third party
+// changed the task's registration vector while it was blocked. Caller
+// holds t.mu.
+func (t *Task) refreshBlockedLocked() {
+	if t.blockedOn == nil {
+		return
+	}
+	t.v.state.SetBlocked(deps.Blocked{Task: t.id, WaitsFor: t.blockedOn, Regs: t.rawRegsLocked()})
+}

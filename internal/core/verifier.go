@@ -1,0 +1,347 @@
+// Package core implements the Armus runtime: a phaser library for
+// goroutines with built-in dynamic deadlock verification (§5 of the paper).
+//
+// The package plays the role of both layers of the Armus architecture:
+//
+//   - the application layer — a native Go phaser runtime (generalising X10
+//     clocks, Java Phaser / CyclicBarrier / CountDownLatch and join
+//     barriers) that produces the blocked status of every task, and
+//   - the verification layer — the resource-dependency state plus the
+//     graph-based deadlock checker with fixed (WFG, SG) or adaptive model
+//     selection.
+//
+// Two verification modes are provided. In detection mode a dedicated
+// goroutine periodically samples the blocked statuses and reports existing
+// deadlocks. In avoidance mode every task checks for a deadlock before it
+// blocks, and the blocking operation fails with *DeadlockError instead of
+// deadlocking; the failing task is deregistered from the phaser so the
+// application can recover (§5, "deadlock avoidance").
+package core
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"armus/internal/deps"
+)
+
+// Mode selects how (and whether) the verifier checks for deadlocks.
+type Mode int
+
+const (
+	// ModeOff disables verification; the runtime behaves as a plain phaser
+	// library. Used as the "unchecked" baseline in every benchmark.
+	ModeOff Mode = iota
+	// ModeDetect runs a periodic background checker that reports existing
+	// deadlocks (the program is already stuck when the report fires).
+	ModeDetect
+	// ModeAvoid checks for a deadlock before each task blocks; blocking
+	// operations return *DeadlockError instead of entering a deadlock.
+	ModeAvoid
+	// ModeObserve records blocked statuses like ModeDetect but runs no
+	// local checker: the distributed layer (package dist) publishes the
+	// state to the shared store and every site checks the global view
+	// (§5.2, one-phase distributed detection).
+	ModeObserve
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeDetect:
+		return "detect"
+	case ModeAvoid:
+		return "avoid"
+	case ModeObserve:
+		return "observe"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// DefaultPeriod is the detection-mode scan period used by the paper's local
+// evaluation (§6.1: every 100 ms).
+const DefaultPeriod = 100 * time.Millisecond
+
+// Verifier owns the resource-dependency state of one site and checks it for
+// deadlocks. It is also the factory for tasks and phasers.
+type Verifier struct {
+	mode   Mode
+	model  deps.Model
+	period time.Duration
+
+	state *deps.State
+	// checkMu serialises avoidance-mode checks so that two tasks racing
+	// into a deadlock cannot both conclude "no cycle yet".
+	checkMu sync.Mutex
+
+	onDeadlock func(*DeadlockError)
+
+	nextTask   atomic.Int64
+	nextPhaser atomic.Int64
+	taskBase   int64 // folded into task IDs (distributed site offset)
+	phaserBase int64
+
+	namesMu sync.RWMutex
+	names   map[deps.TaskID]string
+
+	stats stats
+
+	detectStop chan struct{}
+	detectDone chan struct{}
+	closeOnce  sync.Once
+}
+
+// Option configures a Verifier.
+type Option func(*Verifier)
+
+// WithMode selects the verification mode (default ModeDetect).
+func WithMode(m Mode) Option { return func(v *Verifier) { v.mode = m } }
+
+// WithModel fixes or frees the graph representation (default deps.ModelAuto).
+func WithModel(m deps.Model) Option { return func(v *Verifier) { v.model = m } }
+
+// WithPeriod sets the detection-mode scan period (default DefaultPeriod).
+func WithPeriod(d time.Duration) Option { return func(v *Verifier) { v.period = d } }
+
+// WithOnDeadlock installs the detection-mode report handler. The default
+// handler logs the report. The handler runs on the detector goroutine.
+func WithOnDeadlock(f func(*DeadlockError)) Option {
+	return func(v *Verifier) { v.onDeadlock = f }
+}
+
+// WithIDBase offsets all task and phaser IDs minted by this verifier.
+// Distributed sites use disjoint bases so IDs are globally unique (§5.2).
+func WithIDBase(base int64) Option {
+	return func(v *Verifier) { v.taskBase, v.phaserBase = base, base }
+}
+
+// New creates a verifier and, in detection mode, starts its background
+// checker. Call Close when done.
+func New(opts ...Option) *Verifier {
+	v := &Verifier{
+		mode:   ModeDetect,
+		model:  deps.ModelAuto,
+		period: DefaultPeriod,
+		state:  deps.NewState(),
+		names:  make(map[deps.TaskID]string),
+	}
+	for _, o := range opts {
+		o(v)
+	}
+	if v.onDeadlock == nil {
+		v.onDeadlock = func(e *DeadlockError) { log.Printf("armus: %v", e) }
+	}
+	if v.mode == ModeDetect {
+		v.detectStop = make(chan struct{})
+		v.detectDone = make(chan struct{})
+		go v.detectLoop()
+	}
+	return v
+}
+
+// Mode returns the verifier's verification mode.
+func (v *Verifier) Mode() Mode { return v.mode }
+
+// Model returns the configured graph-model selection policy.
+func (v *Verifier) Model() deps.Model { return v.model }
+
+// State exposes the resource-dependency state (used by the distributed
+// layer to publish local blocked statuses).
+func (v *Verifier) State() *deps.State { return v.state }
+
+// Close stops the background detector, if any. Idempotent.
+func (v *Verifier) Close() {
+	v.closeOnce.Do(func() {
+		if v.detectStop != nil {
+			close(v.detectStop)
+			<-v.detectDone
+		}
+	})
+}
+
+// detectLoop is the paper's detection mode: sample the blocked statuses
+// every period and run cycle analysis; report deadlocks via the handler.
+// Analysis is skipped while the state is unchanged, and a given stuck state
+// is reported once.
+func (v *Verifier) detectLoop() {
+	defer close(v.detectDone)
+	ticker := time.NewTicker(v.period)
+	defer ticker.Stop()
+	var lastVersion uint64
+	var reportedVersion uint64
+	first := true
+	for {
+		select {
+		case <-v.detectStop:
+			return
+		case <-ticker.C:
+		}
+		ver := v.state.Version()
+		if !first && ver == lastVersion {
+			continue
+		}
+		first = false
+		lastVersion = ver
+		if cyc := v.runCheck(); cyc != nil && ver != reportedVersion {
+			reportedVersion = ver
+			v.stats.deadlocks.Add(1)
+			v.onDeadlock(v.newDeadlockError(cyc))
+		}
+	}
+}
+
+// runCheck snapshots the state, builds the configured graph model, records
+// statistics, and returns the deadlock cycle, if any.
+func (v *Verifier) runCheck() *deps.Cycle {
+	snap := v.state.Snapshot()
+	a := deps.Build(v.model, snap)
+	v.recordCheck(a)
+	return a.FindDeadlock(snap)
+}
+
+// CheckNow runs one synchronous deadlock check and returns a *DeadlockError
+// describing the deadlock, or nil. It is safe from any goroutine and is the
+// building block of the distributed checker.
+func (v *Verifier) CheckNow() *DeadlockError {
+	if cyc := v.runCheck(); cyc != nil {
+		v.stats.deadlocks.Add(1)
+		return v.newDeadlockError(cyc)
+	}
+	return nil
+}
+
+// avoidCheck is the avoidance-mode gate: with b tentatively inserted in the
+// state, look for a cycle through b.Task. On deadlock the insertion is
+// rolled back and the cycle returned; otherwise b stays recorded (the task
+// will block) and nil is returned. checkMu makes gate decisions atomic.
+func (v *Verifier) avoidCheck(b deps.Blocked) *deps.Cycle {
+	v.checkMu.Lock()
+	defer v.checkMu.Unlock()
+	v.state.SetBlocked(b)
+	snap := v.state.Snapshot()
+	a := deps.Build(v.model, snap)
+	v.recordCheck(a)
+	cyc := a.FindDeadlock(snap)
+	if cyc == nil {
+		return nil
+	}
+	for _, t := range cyc.Tasks {
+		if t == b.Task {
+			v.state.Clear(b.Task)
+			v.stats.deadlocks.Add(1)
+			return cyc
+		}
+	}
+	// A cycle that does not involve this task: it would have been caught
+	// when its last member blocked; report defensively but let this task
+	// block (it is not part of the deadlock).
+	v.stats.deadlocks.Add(1)
+	v.onDeadlock(v.newDeadlockError(cyc))
+	return nil
+}
+
+func (v *Verifier) recordCheck(a *deps.Analysis) {
+	v.stats.checks.Add(1)
+	e := int64(a.Graph.NumEdges())
+	v.stats.totalEdges.Add(e)
+	for {
+		max := v.stats.maxEdges.Load()
+		if e <= max || v.stats.maxEdges.CompareAndSwap(max, e) {
+			break
+		}
+	}
+	switch a.Model {
+	case deps.ModelWFG:
+		v.stats.wfgBuilds.Add(1)
+	case deps.ModelSG:
+		v.stats.sgBuilds.Add(1)
+	}
+}
+
+func (v *Verifier) newDeadlockError(cyc *deps.Cycle) *DeadlockError {
+	e := &DeadlockError{Cycle: cyc, TaskNames: make(map[deps.TaskID]string, len(cyc.Tasks))}
+	v.namesMu.RLock()
+	for _, t := range cyc.Tasks {
+		e.TaskNames[t] = v.names[t]
+	}
+	v.namesMu.RUnlock()
+	return e
+}
+
+// DeadlockError reports a barrier deadlock: the tasks and synchronisation
+// events on (or waiting on) the dependency cycle.
+type DeadlockError struct {
+	Cycle     *deps.Cycle
+	TaskNames map[deps.TaskID]string
+}
+
+func (e *DeadlockError) Error() string {
+	msg := fmt.Sprintf("deadlock detected (%v model): tasks [", e.Cycle.Model)
+	for i, t := range e.Cycle.Tasks {
+		if i > 0 {
+			msg += " "
+		}
+		if n := e.TaskNames[t]; n != "" {
+			msg += n
+		} else {
+			msg += fmt.Sprintf("task%d", t)
+		}
+	}
+	msg += "] events ["
+	for i, r := range e.Cycle.Resources {
+		if i > 0 {
+			msg += " "
+		}
+		msg += r.String()
+	}
+	return msg + "]"
+}
+
+// stats holds the verifier's atomic counters.
+type stats struct {
+	checks     atomic.Int64
+	wfgBuilds  atomic.Int64
+	sgBuilds   atomic.Int64
+	totalEdges atomic.Int64
+	maxEdges   atomic.Int64
+	deadlocks  atomic.Int64
+	blocks     atomic.Int64
+}
+
+// Stats is a point-in-time copy of the verifier's counters, used by the
+// evaluation harness (Table 3 needs the average edge count per check).
+type Stats struct {
+	Checks     int64 // graph analyses performed
+	WFGBuilds  int64 // analyses that used the WFG representation
+	SGBuilds   int64 // analyses that used the SG representation
+	TotalEdges int64 // sum of edge counts over all analyses
+	MaxEdges   int64 // largest single graph analysed
+	Deadlocks  int64 // deadlocks found
+	Blocks     int64 // blocking operations that actually parked
+}
+
+// AvgEdges returns the mean edge count per analysis.
+func (s Stats) AvgEdges() float64 {
+	if s.Checks == 0 {
+		return 0
+	}
+	return float64(s.TotalEdges) / float64(s.Checks)
+}
+
+// Stats returns a snapshot of the verifier's counters.
+func (v *Verifier) Stats() Stats {
+	return Stats{
+		Checks:     v.stats.checks.Load(),
+		WFGBuilds:  v.stats.wfgBuilds.Load(),
+		SGBuilds:   v.stats.sgBuilds.Load(),
+		TotalEdges: v.stats.totalEdges.Load(),
+		MaxEdges:   v.stats.maxEdges.Load(),
+		Deadlocks:  v.stats.deadlocks.Load(),
+		Blocks:     v.stats.blocks.Load(),
+	}
+}

@@ -1,0 +1,292 @@
+package deps
+
+import (
+	"sort"
+
+	"armus/internal/graph"
+)
+
+// Analysis is the result of translating a snapshot into a concrete graph
+// model. Exactly one of Tasks / Resources is non-nil for WFG / SG; GRG sets
+// both (task vertices first, then resource vertices).
+type Analysis struct {
+	Graph *graph.Digraph
+	// Model is the representation actually built (for ModelAuto it is the
+	// one the adaptive policy settled on).
+	Model Model
+	// Tasks maps WFG (and GRG task-) vertices to task IDs.
+	Tasks []TaskID
+	// Resources maps SG (and GRG resource-) vertices to events.
+	Resources []Resource
+}
+
+// phaserIndex groups, per phaser, the registrations of blocked tasks and
+// the set of awaited events. Both are the only inputs the builders need.
+type phaserIndex struct {
+	// regs[q] lists (taskVertex, localPhase) for each blocked task
+	// registered with q.
+	regs map[PhaserID][]regEntry
+	// waits[q] lists the distinct phases of q that some task awaits,
+	// ascending.
+	waits map[PhaserID][]int64
+	// taskOf maps task vertex -> snapshot index.
+	snap []Blocked
+}
+
+type regEntry struct {
+	task  int32 // vertex index into snap
+	phase int64
+}
+
+func buildIndex(snap []Blocked) *phaserIndex {
+	ix := &phaserIndex{
+		regs:  make(map[PhaserID][]regEntry),
+		waits: make(map[PhaserID][]int64),
+		snap:  snap,
+	}
+	for ti, b := range snap {
+		for _, reg := range b.Regs {
+			ix.regs[reg.Phaser] = append(ix.regs[reg.Phaser], regEntry{int32(ti), reg.Phase})
+		}
+		for _, r := range b.WaitsFor {
+			ix.waits[r.Phaser] = append(ix.waits[r.Phaser], r.Phase)
+		}
+	}
+	for q, ph := range ix.waits {
+		sort.Slice(ph, func(i, j int) bool { return ph[i] < ph[j] })
+		// dedupe
+		out := ph[:0]
+		for i, p := range ph {
+			if i == 0 || p != out[len(out)-1] {
+				out = append(out, p)
+			}
+		}
+		ix.waits[q] = out
+	}
+	return ix
+}
+
+// BuildWFG constructs the Wait-For Graph of Definition 4.2: vertices are
+// blocked tasks; edge t1 -> t2 iff some event r = (q, n) is awaited by t1
+// and impeded by t2 (t2 registered with q at phase m < n). t1 "waits for"
+// t2 to make progress.
+func BuildWFG(snap []Blocked) *Analysis {
+	ix := buildIndex(snap)
+	g := graph.New(len(snap))
+	tasks := make([]TaskID, len(snap))
+	for i, b := range snap {
+		tasks[i] = b.Task
+	}
+	for t1, b := range snap {
+		for _, r := range b.WaitsFor {
+			for _, re := range ix.regs[r.Phaser] {
+				if re.phase < r.Phase {
+					g.AddEdge(t1, int(re.task))
+				}
+			}
+		}
+	}
+	return &Analysis{Graph: g, Model: ModelWFG, Tasks: tasks}
+}
+
+// BuildSG constructs the State Graph of Definition 4.3: vertices are the
+// awaited events; edge r1 -> r2 iff some task t impedes r1 (t registered at
+// a phase below r1's) and awaits r2. Event r1 cannot be observed before r2.
+func BuildSG(snap []Blocked) *Analysis {
+	a, _ := buildSGBounded(snap, -1)
+	return a
+}
+
+// buildSGBounded builds the SG but gives up when, after processing each
+// task, the running edge count exceeds maxEdgesPerTask × tasksProcessed
+// (the §5.1 adaptive bail-out). maxEdgesPerTask < 0 disables the bound.
+// It returns (analysis, true) on success and (nil, false) when the bound
+// was hit.
+func buildSGBounded(snap []Blocked, maxEdgesPerTask int) (*Analysis, bool) {
+	ix := buildIndex(snap)
+	// Assign a vertex to every awaited event, ordered deterministically.
+	phasers := make([]PhaserID, 0, len(ix.waits))
+	for q := range ix.waits {
+		phasers = append(phasers, q)
+	}
+	sort.Slice(phasers, func(i, j int) bool { return phasers[i] < phasers[j] })
+	vertexOf := make(map[Resource]int)
+	var resources []Resource
+	for _, q := range phasers {
+		for _, n := range ix.waits[q] {
+			r := Resource{q, n}
+			vertexOf[r] = len(resources)
+			resources = append(resources, r)
+		}
+	}
+	g := graph.New(len(resources))
+	for processed, b := range snap {
+		// Events impeded by b: for each registration (q, m), every awaited
+		// event (q, n) with n > m. Edge to every event awaited by b.
+		for _, reg := range b.Regs {
+			waited := ix.waits[reg.Phaser]
+			// binary search for first waited phase > reg.Phase
+			lo := sort.Search(len(waited), func(i int) bool { return waited[i] > reg.Phase })
+			for _, n := range waited[lo:] {
+				v1 := vertexOf[Resource{reg.Phaser, n}]
+				for _, r2 := range b.WaitsFor {
+					g.AddEdge(v1, vertexOf[r2])
+				}
+			}
+		}
+		if maxEdgesPerTask >= 0 && g.NumEdges() > maxEdgesPerTask*(processed+1) {
+			return nil, false
+		}
+	}
+	return &Analysis{Graph: g, Model: ModelSG, Resources: resources}, true
+}
+
+// BuildGRG constructs the General Resource Graph of Definition 4.4: the
+// bipartite graph with task vertices (first) and event vertices (after),
+// edges t -> r for r ∈ W(t) and r -> t for t ∈ I(r).
+func BuildGRG(snap []Blocked) *Analysis {
+	ix := buildIndex(snap)
+	tasks := make([]TaskID, len(snap))
+	for i, b := range snap {
+		tasks[i] = b.Task
+	}
+	phasers := make([]PhaserID, 0, len(ix.waits))
+	for q := range ix.waits {
+		phasers = append(phasers, q)
+	}
+	sort.Slice(phasers, func(i, j int) bool { return phasers[i] < phasers[j] })
+	vertexOf := make(map[Resource]int)
+	var resources []Resource
+	for _, q := range phasers {
+		for _, n := range ix.waits[q] {
+			r := Resource{q, n}
+			vertexOf[r] = len(tasks) + len(resources)
+			resources = append(resources, r)
+		}
+	}
+	g := graph.New(len(tasks) + len(resources))
+	for ti, b := range snap {
+		for _, r := range b.WaitsFor {
+			g.AddEdge(ti, vertexOf[r])
+		}
+		for _, reg := range b.Regs {
+			waited := ix.waits[reg.Phaser]
+			lo := sort.Search(len(waited), func(i int) bool { return waited[i] > reg.Phase })
+			for _, n := range waited[lo:] {
+				g.AddEdge(vertexOf[Resource{reg.Phaser, n}], ti)
+			}
+		}
+	}
+	return &Analysis{Graph: g, Model: ModelGRG, Tasks: tasks, Resources: resources}
+}
+
+// Build translates the snapshot under the requested model. For ModelAuto it
+// applies the §5.1 policy: try the SG first; if at any point the SG has
+// more edges than AdaptiveThreshold × tasks processed so far, build a WFG
+// instead.
+func Build(model Model, snap []Blocked) *Analysis {
+	switch model {
+	case ModelWFG:
+		return BuildWFG(snap)
+	case ModelSG:
+		return BuildSG(snap)
+	case ModelGRG:
+		return BuildGRG(snap)
+	default: // ModelAuto
+		return BuildAdaptive(snap, AdaptiveThreshold)
+	}
+}
+
+// BuildAdaptive applies the adaptive policy with an explicit bail-out
+// threshold (edges per task processed); it exists so the threshold choice
+// can be studied in isolation (the ablation benchmarks sweep it).
+func BuildAdaptive(snap []Blocked, threshold int) *Analysis {
+	if a, ok := buildSGBounded(snap, threshold); ok {
+		return a
+	}
+	return BuildWFG(snap)
+}
+
+// Cycle describes a deadlock found by cycle analysis, translated back from
+// graph vertices to tasks and events so reports are model-independent.
+type Cycle struct {
+	// Model that produced the cycle.
+	Model Model
+	// Tasks on the cycle (WFG/GRG) or waiting on the cycle's events (SG).
+	Tasks []TaskID
+	// Resources on the cycle (SG/GRG) or awaited by the cycle's tasks (WFG).
+	Resources []Resource
+}
+
+// FindDeadlock runs cycle detection on the analysis and, when a cycle
+// exists, translates it into a Cycle report using the snapshot the analysis
+// was built from. It returns nil when the graph is acyclic (no deadlock —
+// sound and complete per Theorems 4.10 and 4.15).
+func (a *Analysis) FindDeadlock(snap []Blocked) *Cycle {
+	return a.translateCycle(snap, a.Graph.FindCycle())
+}
+
+// FindAllDeadlocks reports every independent deadlock: one Cycle per
+// cyclic strongly connected component. Distinct SCCs are genuinely
+// separate deadlocks (no task or event of one can wait on the other), so a
+// monitor can report them all in a single scan.
+func (a *Analysis) FindAllDeadlocks(snap []Blocked) []*Cycle {
+	var out []*Cycle
+	for _, comp := range a.Graph.SCCs() {
+		if len(comp) == 1 && !a.Graph.HasEdge(comp[0], comp[0]) {
+			continue
+		}
+		if c := a.translateCycle(snap, comp); c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (a *Analysis) translateCycle(snap []Blocked, cyc []int) *Cycle {
+	if cyc == nil {
+		return nil
+	}
+	c := &Cycle{Model: a.Model}
+	switch a.Model {
+	case ModelWFG:
+		resSet := make(map[Resource]bool)
+		for _, v := range cyc {
+			c.Tasks = append(c.Tasks, a.Tasks[v])
+			for _, b := range snap {
+				if b.Task == a.Tasks[v] {
+					for _, r := range b.WaitsFor {
+						if !resSet[r] {
+							resSet[r] = true
+							c.Resources = append(c.Resources, r)
+						}
+					}
+				}
+			}
+		}
+	case ModelSG:
+		onCycle := make(map[Resource]bool)
+		for _, v := range cyc {
+			r := a.Resources[v]
+			onCycle[r] = true
+			c.Resources = append(c.Resources, r)
+		}
+		for _, b := range snap {
+			for _, r := range b.WaitsFor {
+				if onCycle[r] {
+					c.Tasks = append(c.Tasks, b.Task)
+					break
+				}
+			}
+		}
+	case ModelGRG:
+		for _, v := range cyc {
+			if v < len(a.Tasks) {
+				c.Tasks = append(c.Tasks, a.Tasks[v])
+			} else {
+				c.Resources = append(c.Resources, a.Resources[v-len(a.Tasks)])
+			}
+		}
+	}
+	return c
+}

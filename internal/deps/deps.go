@@ -1,0 +1,157 @@
+// Package deps implements the event-based resource-dependency state of
+// Armus (§4 of the paper) and its translations into the Wait-For Graph
+// (WFG), the State Graph (SG), and the General Resource Graph (GRG),
+// together with the adaptive model-selection policy of §5.1.
+//
+// A resource is a synchronisation event: a (phaser, phase) pair, in the
+// sense of a Lamport logical-clock timestamp. A blocked task contributes a
+// status that is purely local to it:
+//
+//   - the events it WAITS FOR (W(t) in the paper), and
+//   - its registration vector — for each phaser it is registered with, its
+//     local phase. The task IMPEDES every event of that phaser with a
+//     strictly greater phase (t ∈ I(p,n) iff M(p)(t) < n, Definition 4.1).
+//
+// Nothing about other tasks (membership, arrival status) is required, which
+// is the property that makes distributed verification cheap (§2.1, §5.2).
+package deps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TaskID names a task. IDs are assigned by the runtime (package core) and
+// are unique per verifier; in distributed mode the site ID is folded into
+// the upper bits so IDs remain globally unique.
+type TaskID int64
+
+// PhaserID names a phaser (equivalently, the logical clock of its events).
+type PhaserID int64
+
+// Resource is a synchronisation event: phase Phase of phaser Phaser.
+// It plays the role of a classical resource (Holt 1972) in the graphs.
+type Resource struct {
+	Phaser PhaserID
+	Phase  int64
+}
+
+func (r Resource) String() string {
+	return fmt.Sprintf("phaser%d@%d", r.Phaser, r.Phase)
+}
+
+// Reg records a task's registration with a phaser at its current local
+// phase. A task with registration (q, m) impedes every event (q, n), n > m.
+type Reg struct {
+	Phaser PhaserID
+	Phase  int64
+}
+
+// Blocked is the full blocked status of one task: the events it waits for
+// and its registration vector. It is the unit of information exchanged with
+// the verifier (and, in distributed mode, published to the store).
+type Blocked struct {
+	Task     TaskID
+	WaitsFor []Resource
+	Regs     []Reg
+}
+
+// State is the mutable, concurrency-safe collection of blocked statuses —
+// the resource-dependency state D = (I, W) of Definition 4.1, stored
+// per-task so that updates (the frequent operation) are O(1) and snapshots
+// (the infrequent operation) copy out a consistent view (§5.1).
+type State struct {
+	mu      sync.RWMutex
+	blocked map[TaskID]Blocked
+	version uint64
+}
+
+// NewState returns an empty resource-dependency state.
+func NewState() *State {
+	return &State{blocked: make(map[TaskID]Blocked)}
+}
+
+// SetBlocked records (or replaces) the blocked status of b.Task.
+func (s *State) SetBlocked(b Blocked) {
+	s.mu.Lock()
+	s.blocked[b.Task] = b
+	s.version++
+	s.mu.Unlock()
+}
+
+// Clear removes the blocked status of t (the task resumed).
+func (s *State) Clear(t TaskID) {
+	s.mu.Lock()
+	delete(s.blocked, t)
+	s.version++
+	s.mu.Unlock()
+}
+
+// Len returns the number of currently blocked tasks.
+func (s *State) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocked)
+}
+
+// Version returns a counter incremented on every mutation; the detection
+// loop uses it to skip re-analysis of an unchanged state.
+func (s *State) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Snapshot returns a copy of all blocked statuses, sorted by task ID for
+// determinism. The contained slices are shared with the writers but are
+// treated as immutable after SetBlocked by convention.
+func (s *State) Snapshot() []Blocked {
+	s.mu.RLock()
+	out := make([]Blocked, 0, len(s.blocked))
+	for _, b := range s.blocked {
+		out = append(out, b)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out
+}
+
+// Model identifies a graph representation for cycle analysis.
+type Model int
+
+const (
+	// ModelAuto selects between SG and WFG at each check according to the
+	// §5.1 policy: build the SG, but fall back to the WFG as soon as the SG
+	// edge count exceeds AdaptiveThreshold × (tasks processed so far).
+	ModelAuto Model = iota
+	// ModelWFG fixes the task-centric Wait-For Graph (Definition 4.2).
+	ModelWFG
+	// ModelSG fixes the event-centric State Graph (Definition 4.3).
+	ModelSG
+	// ModelGRG is the bipartite General Resource Graph (Definition 4.4);
+	// it bridges WFG and SG in the equivalence proof and is exposed for
+	// testing and tooling, not for production checking.
+	ModelGRG
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelAuto:
+		return "auto"
+	case ModelWFG:
+		return "wfg"
+	case ModelSG:
+		return "sg"
+	case ModelGRG:
+		return "grg"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// AdaptiveThreshold is the multiplier of the §5.1 bail-out rule: while
+// building the SG, if at any point there are more SG edges than
+// AdaptiveThreshold × tasks processed thus far, a WFG is built instead.
+// The paper reports 2 as the empirically best value.
+const AdaptiveThreshold = 2

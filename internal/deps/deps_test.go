@@ -1,0 +1,556 @@
+package deps
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// example41 is the deadlocked state of Example 4.1 in the paper (the
+// running example with I = 3): worker tasks t1..t3 blocked at the cyclic
+// barrier pc, driver t4 blocked at the join barrier pb.
+func example41() []Blocked {
+	const (
+		pc PhaserID = 1
+		pb PhaserID = 2
+	)
+	worker := func(t TaskID) Blocked {
+		return Blocked{
+			Task:     t,
+			WaitsFor: []Resource{{pc, 1}},
+			Regs:     []Reg{{pc, 1}, {pb, 0}},
+		}
+	}
+	return []Blocked{
+		worker(1), worker(2), worker(3),
+		{
+			Task:     4,
+			WaitsFor: []Resource{{pb, 1}},
+			Regs:     []Reg{{pc, 0}, {pb, 1}},
+		},
+	}
+}
+
+func TestExample41WFG(t *testing.T) {
+	a := BuildWFG(example41())
+	// Expected: (t1,t4) (t2,t4) (t3,t4) (t4,t1) (t4,t2) (t4,t3).
+	if a.Graph.NumEdges() != 6 {
+		t.Fatalf("WFG edges = %d, want 6", a.Graph.NumEdges())
+	}
+	want := map[[2]TaskID]bool{
+		{1, 4}: true, {2, 4}: true, {3, 4}: true,
+		{4, 1}: true, {4, 2}: true, {4, 3}: true,
+	}
+	for _, e := range a.Graph.Edges() {
+		key := [2]TaskID{a.Tasks[e[0]], a.Tasks[e[1]]}
+		if !want[key] {
+			t.Fatalf("unexpected WFG edge %v -> %v", key[0], key[1])
+		}
+	}
+	if !a.Graph.HasCycle() {
+		t.Fatal("Example 4.1 WFG must be cyclic")
+	}
+}
+
+func TestExample41SG(t *testing.T) {
+	a := BuildSG(example41())
+	if len(a.Resources) != 2 {
+		t.Fatalf("SG vertices = %d, want 2 (r1, r2)", len(a.Resources))
+	}
+	if !a.Graph.HasCycle() {
+		t.Fatal("Example 4.1 SG must be cyclic")
+	}
+	// r1 = (pc,1), r2 = (pb,1): edges r1->r2 (via t4) and r2->r1 (via t1..t3).
+	var v1, v2 = -1, -1
+	for i, r := range a.Resources {
+		switch r {
+		case Resource{1, 1}:
+			v1 = i
+		case Resource{2, 1}:
+			v2 = i
+		}
+	}
+	if v1 < 0 || v2 < 0 {
+		t.Fatalf("resources = %v, want (1@1) and (2@1)", a.Resources)
+	}
+	if !a.Graph.HasEdge(v1, v2) || !a.Graph.HasEdge(v2, v1) {
+		t.Fatal("SG missing r1<->r2 edges")
+	}
+}
+
+func TestExample41GRG(t *testing.T) {
+	a := BuildGRG(example41())
+	if !a.Graph.HasCycle() {
+		t.Fatal("Example 4.1 GRG must be cyclic")
+	}
+	// 4 wait edges (one per task) + impede edges: r1 impeded by t4 (1),
+	// r2 impeded by t1..t3 (3) => 8 edges total.
+	if a.Graph.NumEdges() != 8 {
+		t.Fatalf("GRG edges = %d, want 8", a.Graph.NumEdges())
+	}
+}
+
+func TestExample41Report(t *testing.T) {
+	snap := example41()
+	for _, m := range []Model{ModelWFG, ModelSG, ModelGRG, ModelAuto} {
+		a := Build(m, snap)
+		c := a.FindDeadlock(snap)
+		if c == nil {
+			t.Fatalf("%v: deadlock missed", m)
+		}
+		if len(c.Tasks) == 0 {
+			t.Fatalf("%v: report has no tasks", m)
+		}
+		if len(c.Resources) == 0 {
+			t.Fatalf("%v: report has no resources", m)
+		}
+		blocked := map[TaskID]bool{1: true, 2: true, 3: true, 4: true}
+		for _, tk := range c.Tasks {
+			if !blocked[tk] {
+				t.Fatalf("%v: report names unknown task %d", m, tk)
+			}
+		}
+	}
+}
+
+func TestNoDeadlockWhenBarrierCanAdvance(t *testing.T) {
+	// Two tasks blocked on the same phaser at the same phase, third
+	// member not blocked: no blocked task impedes (p,1), so no cycle.
+	const p PhaserID = 1
+	snap := []Blocked{
+		{Task: 1, WaitsFor: []Resource{{p, 1}}, Regs: []Reg{{p, 1}}},
+		{Task: 2, WaitsFor: []Resource{{p, 1}}, Regs: []Reg{{p, 1}}},
+	}
+	for _, m := range []Model{ModelWFG, ModelSG, ModelAuto} {
+		if Build(m, snap).FindDeadlock(snap) != nil {
+			t.Fatalf("%v: false deadlock", m)
+		}
+	}
+}
+
+func TestSelfDeadlockFuturePhase(t *testing.T) {
+	// A task registered at phase 0 that awaits phase 2 of the same phaser
+	// without arriving blocks itself: a self-loop, a genuine deadlock
+	// (cf. Java Phaser.awaitAdvance by a non-arrived party).
+	const p PhaserID = 7
+	snap := []Blocked{
+		{Task: 1, WaitsFor: []Resource{{p, 2}}, Regs: []Reg{{p, 0}}},
+	}
+	for _, m := range []Model{ModelWFG, ModelSG, ModelAuto} {
+		c := Build(m, snap).FindDeadlock(snap)
+		if c == nil {
+			t.Fatalf("%v: self-deadlock missed", m)
+		}
+	}
+}
+
+func TestLaggardImpedesFarFuturePhase(t *testing.T) {
+	// t1 awaits (p, 5); t2 is registered at phase 0 — several phases
+	// behind. The impedes relation is ordered (m < n), not exact-match, so
+	// the edge t1 -> t2 must exist.
+	const p PhaserID = 3
+	snap := []Blocked{
+		{Task: 1, WaitsFor: []Resource{{p, 5}}, Regs: []Reg{{p, 5}}},
+		{Task: 2, WaitsFor: []Resource{{99, 1}}, Regs: []Reg{{p, 0}, {99, 1}}},
+	}
+	a := BuildWFG(snap)
+	found := false
+	for _, e := range a.Graph.Edges() {
+		if a.Tasks[e[0]] == 1 && a.Tasks[e[1]] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ordered impedes-matching missed edge t1 -> t2")
+	}
+}
+
+func TestUnregisteredObserverCreatesNoImpedes(t *testing.T) {
+	// An observer waiting on a phaser it is not registered with waits but
+	// never impedes: it can never be the target of a WFG edge via that
+	// phaser.
+	const p PhaserID = 1
+	snap := []Blocked{
+		{Task: 1, WaitsFor: []Resource{{p, 1}}, Regs: nil}, // pure observer
+		{Task: 2, WaitsFor: []Resource{{p, 1}}, Regs: []Reg{{p, 1}}},
+	}
+	for _, m := range []Model{ModelWFG, ModelSG, ModelAuto} {
+		if Build(m, snap).FindDeadlock(snap) != nil {
+			t.Fatalf("%v: false deadlock with pure observer", m)
+		}
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	for _, m := range []Model{ModelWFG, ModelSG, ModelGRG, ModelAuto} {
+		a := Build(m, nil)
+		if a.Graph.HasCycle() {
+			t.Fatalf("%v: cycle in empty snapshot", m)
+		}
+		if a.FindDeadlock(nil) != nil {
+			t.Fatalf("%v: deadlock in empty snapshot", m)
+		}
+	}
+}
+
+func TestAdaptiveBailsOutToWFG(t *testing.T) {
+	// Many tasks all registered with ALL of many phasers, each waiting on
+	// its own phaser: the SG is dense (every event impedes every other) so
+	// the adaptive build must fall back to the WFG.
+	const n = 16
+	var snap []Blocked
+	for i := 0; i < n; i++ {
+		b := Blocked{Task: TaskID(i), WaitsFor: []Resource{{PhaserID(i), 1}}}
+		for q := 0; q < n; q++ {
+			ph := int64(1)
+			if q == i {
+				ph = 1
+			} else {
+				ph = 0
+			}
+			b.Regs = append(b.Regs, Reg{PhaserID(q), ph})
+		}
+		snap = append(snap, b)
+	}
+	a := Build(ModelAuto, snap)
+	if a.Model != ModelWFG {
+		t.Fatalf("adaptive chose %v, want fallback to WFG", a.Model)
+	}
+}
+
+func TestAdaptiveKeepsSGWhenSparse(t *testing.T) {
+	// SPMD shape: many tasks, one barrier. SG has one vertex and at most a
+	// self-loop — adaptive must keep the SG.
+	const p PhaserID = 1
+	var snap []Blocked
+	for i := 0; i < 64; i++ {
+		snap = append(snap, Blocked{
+			Task:     TaskID(i),
+			WaitsFor: []Resource{{p, 1}},
+			Regs:     []Reg{{p, 1}},
+		})
+	}
+	a := Build(ModelAuto, snap)
+	if a.Model != ModelSG {
+		t.Fatalf("adaptive chose %v, want SG", a.Model)
+	}
+	if len(a.Resources) != 1 {
+		t.Fatalf("SG vertices = %d, want 1", len(a.Resources))
+	}
+}
+
+func TestStateBasics(t *testing.T) {
+	s := NewState()
+	if s.Len() != 0 {
+		t.Fatal("fresh state not empty")
+	}
+	v0 := s.Version()
+	s.SetBlocked(Blocked{Task: 1, WaitsFor: []Resource{{1, 1}}})
+	s.SetBlocked(Blocked{Task: 2, WaitsFor: []Resource{{1, 1}}})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if s.Version() == v0 {
+		t.Fatal("version did not advance")
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].Task != 1 || snap[1].Task != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	s.Clear(1)
+	if s.Len() != 1 {
+		t.Fatalf("Len after clear = %d, want 1", s.Len())
+	}
+	s.Clear(42) // clearing an absent task is a no-op
+	if s.Len() != 1 {
+		t.Fatal("clearing absent task changed state")
+	}
+}
+
+func TestStateConcurrentAccess(t *testing.T) {
+	s := NewState()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := TaskID(w*1000 + i)
+				s.SetBlocked(Blocked{Task: id, WaitsFor: []Resource{{1, 1}}})
+				_ = s.Snapshot()
+				s.Clear(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Fatalf("state not empty after balanced ops: %d", s.Len())
+	}
+}
+
+// randomSnapshot produces a random blocked-status snapshot: n tasks, k
+// phasers; each task registers with a few phasers at small phases and waits
+// on an event of one of them (its own phase, PL-style, or a future phase,
+// HJ awaitPhase-style).
+func randomSnapshot(r *rand.Rand, n, k int) []Blocked {
+	snap := make([]Blocked, 0, n)
+	for i := 0; i < n; i++ {
+		b := Blocked{Task: TaskID(i)}
+		nregs := 1 + r.Intn(3)
+		seen := map[PhaserID]bool{}
+		for j := 0; j < nregs; j++ {
+			q := PhaserID(r.Intn(k))
+			if seen[q] {
+				continue
+			}
+			seen[q] = true
+			b.Regs = append(b.Regs, Reg{q, int64(r.Intn(4))})
+		}
+		reg := b.Regs[r.Intn(len(b.Regs))]
+		wait := reg.Phase
+		if r.Intn(4) == 0 {
+			wait += int64(1 + r.Intn(2)) // awaitPhase on a future event
+		}
+		b.WaitsFor = []Resource{{reg.Phaser, wait}}
+		snap = append(snap, b)
+	}
+	return snap
+}
+
+// Property (Theorem 4.8): the WFG has a cycle iff the SG has a cycle iff
+// the GRG has a cycle, for arbitrary resource-dependency states.
+func TestQuickWFGSGGRGEquivalence(t *testing.T) {
+	f := func(seed int64, rawN, rawK uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(rawN)%24 + 1
+		k := int(rawK)%8 + 1
+		snap := randomSnapshot(r, n, k)
+		w := BuildWFG(snap).Graph.HasCycle()
+		s := BuildSG(snap).Graph.HasCycle()
+		g := BuildGRG(snap).Graph.HasCycle()
+		return w == s && s == g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the adaptive build reaches the same verdict as both fixed
+// models (it only changes the representation, never the answer).
+func TestQuickAdaptiveSameVerdict(t *testing.T) {
+	f := func(seed int64, rawN, rawK uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(rawN)%24 + 1
+		k := int(rawK)%8 + 1
+		snap := randomSnapshot(r, n, k)
+		auto := Build(ModelAuto, snap).FindDeadlock(snap) != nil
+		wfg := BuildWFG(snap).FindDeadlock(snap) != nil
+		return auto == wfg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Lemma 4.14, monotonicity): augmenting a deadlocked snapshot
+// with extra blocked tasks never erases the deadlock.
+func TestQuickDeadlockMonotonic(t *testing.T) {
+	f := func(seed int64, rawN, rawK, rawExtra uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(rawN)%16 + 1
+		k := int(rawK)%6 + 1
+		snap := randomSnapshot(r, n, k)
+		if !BuildWFG(snap).Graph.HasCycle() {
+			return true // vacuous
+		}
+		extra := randomSnapshot(r, int(rawExtra)%8+1, k)
+		for i := range extra {
+			extra[i].Task += TaskID(n) // keep IDs disjoint
+		}
+		aug := append(append([]Blocked{}, snap...), extra...)
+		return BuildWFG(aug).Graph.HasCycle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a deadlock report only ever names blocked tasks and awaited
+// resources from the snapshot.
+func TestQuickReportWellFormed(t *testing.T) {
+	f := func(seed int64, rawN, rawK uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(rawN)%24 + 1
+		k := int(rawK)%8 + 1
+		snap := randomSnapshot(r, n, k)
+		blocked := map[TaskID]bool{}
+		awaited := map[Resource]bool{}
+		for _, b := range snap {
+			blocked[b.Task] = true
+			for _, res := range b.WaitsFor {
+				awaited[res] = true
+			}
+		}
+		for _, m := range []Model{ModelWFG, ModelSG, ModelAuto} {
+			c := Build(m, snap).FindDeadlock(snap)
+			if c == nil {
+				continue
+			}
+			for _, tk := range c.Tasks {
+				if !blocked[tk] {
+					return false
+				}
+			}
+			for _, res := range c.Resources {
+				if !awaited[res] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	r := Resource{Phaser: 3, Phase: 7}
+	if r.String() != "phaser3@7" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestModelString(t *testing.T) {
+	cases := map[Model]string{
+		ModelAuto: "auto", ModelWFG: "wfg", ModelSG: "sg", ModelGRG: "grg",
+		Model(99): "model(99)",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Fatalf("Model(%d).String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func BenchmarkBuildWFGSPMD(b *testing.B) {
+	// SPMD shape: 64 tasks, 1 barrier (the WFG worst case is dense here).
+	var snap []Blocked
+	for i := 0; i < 64; i++ {
+		snap = append(snap, Blocked{
+			Task: TaskID(i), WaitsFor: []Resource{{1, 1}}, Regs: []Reg{{1, 1}},
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildWFG(snap)
+	}
+}
+
+func BenchmarkBuildSGSPMD(b *testing.B) {
+	var snap []Blocked
+	for i := 0; i < 64; i++ {
+		snap = append(snap, Blocked{
+			Task: TaskID(i), WaitsFor: []Resource{{1, 1}}, Regs: []Reg{{1, 1}},
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildSG(snap)
+	}
+}
+
+func BenchmarkBuildAdaptiveSPMD(b *testing.B) {
+	var snap []Blocked
+	for i := 0; i < 64; i++ {
+		snap = append(snap, Blocked{
+			Task: TaskID(i), WaitsFor: []Resource{{1, 1}}, Regs: []Reg{{1, 1}},
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(ModelAuto, snap)
+	}
+}
+
+func TestFindAllDeadlocksIndependentCycles(t *testing.T) {
+	// Two disjoint 2-cycles: tasks {1,2} on phasers {10,11} and tasks
+	// {3,4} on phasers {20,21}, plus one innocent blocked bystander.
+	mk := func(task TaskID, waitP, lagP PhaserID) Blocked {
+		return Blocked{
+			Task:     task,
+			WaitsFor: []Resource{{waitP, 1}},
+			Regs:     []Reg{{waitP, 1}, {lagP, 0}},
+		}
+	}
+	snap := []Blocked{
+		mk(1, 10, 11), mk(2, 11, 10),
+		mk(3, 20, 21), mk(4, 21, 20),
+		{Task: 9, WaitsFor: []Resource{{99, 1}}, Regs: []Reg{{99, 1}}},
+	}
+	for _, m := range []Model{ModelWFG, ModelSG, ModelAuto} {
+		a := Build(m, snap)
+		all := a.FindAllDeadlocks(snap)
+		if len(all) != 2 {
+			t.Fatalf("%v: found %d deadlocks, want 2", m, len(all))
+		}
+		seen := map[TaskID]bool{}
+		for _, c := range all {
+			for _, tk := range c.Tasks {
+				seen[tk] = true
+			}
+		}
+		for _, want := range []TaskID{1, 2, 3, 4} {
+			if !seen[want] {
+				t.Fatalf("%v: task %d missing from reports %+v", m, want, all)
+			}
+		}
+		if seen[9] {
+			t.Fatalf("%v: bystander task 9 reported as deadlocked", m)
+		}
+	}
+}
+
+func TestFindAllDeadlocksEmpty(t *testing.T) {
+	snap := []Blocked{
+		{Task: 1, WaitsFor: []Resource{{1, 1}}, Regs: []Reg{{1, 1}}},
+	}
+	for _, m := range []Model{ModelWFG, ModelSG} {
+		if got := Build(m, snap).FindAllDeadlocks(snap); len(got) != 0 {
+			t.Fatalf("%v: %d deadlocks in deadlock-free snapshot", m, len(got))
+		}
+	}
+}
+
+// Property: FindAllDeadlocks is non-empty iff FindDeadlock is non-nil, and
+// every reported task appears in exactly one report (SCCs partition).
+func TestQuickAllDeadlocksConsistent(t *testing.T) {
+	f := func(seed int64, rawN, rawK uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(rawN)%24 + 1
+		k := int(rawK)%8 + 1
+		snap := randomSnapshot(r, n, k)
+		a := BuildWFG(snap)
+		all := a.FindAllDeadlocks(snap)
+		one := a.FindDeadlock(snap)
+		if (len(all) > 0) != (one != nil) {
+			return false
+		}
+		counts := map[TaskID]int{}
+		for _, c := range all {
+			for _, tk := range c.Tasks {
+				counts[tk]++
+			}
+		}
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package graph provides a compact directed-graph representation and the
+// cycle-detection primitives used by the Armus deadlock analyses.
+//
+// Vertices are dense non-negative integers assigned by the caller (packages
+// deps and core map tasks and synchronisation events onto them). Cycle
+// detection is an iterative Tarjan strongly-connected-components pass —
+// O(V+E), no recursion, so it is safe for the very deep graphs produced by
+// long dependency chains (e.g. the PS benchmark, where a WFG may contain a
+// single chain through hundreds of tasks).
+package graph
+
+// Digraph is a directed graph over the vertex set [0, NumVertices).
+// The zero value is an empty graph; add vertices with AddVertex or Grow and
+// edges with AddEdge.
+type Digraph struct {
+	adj   [][]int32
+	edges int
+}
+
+// New returns a digraph with n vertices and no edges.
+func New(n int) *Digraph {
+	return &Digraph{adj: make([][]int32, n)}
+}
+
+// NumVertices returns the number of vertices in the graph.
+func (g *Digraph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of edges added so far.
+func (g *Digraph) NumEdges() int { return g.edges }
+
+// AddVertex appends a fresh vertex and returns its index.
+func (g *Digraph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// Grow ensures the graph has at least n vertices.
+func (g *Digraph) Grow(n int) {
+	for len(g.adj) < n {
+		g.adj = append(g.adj, nil)
+	}
+}
+
+// AddEdge adds the directed edge u -> v. Both endpoints must already exist.
+// Parallel edges are permitted; they do not affect cycle detection.
+func (g *Digraph) AddEdge(u, v int) {
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.edges++
+}
+
+// HasEdge reports whether the edge u -> v is present.
+func (g *Digraph) HasEdge(u, v int) bool {
+	for _, w := range g.adj[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Succ returns the successor list of u. The returned slice is owned by the
+// graph and must not be modified.
+func (g *Digraph) Succ(u int) []int32 { return g.adj[u] }
+
+// Edges returns every edge as a (u,v) pair, in insertion order per vertex.
+func (g *Digraph) Edges() [][2]int {
+	out := make([][2]int, 0, g.edges)
+	for u, succ := range g.adj {
+		for _, v := range succ {
+			out = append(out, [2]int{u, int(v)})
+		}
+	}
+	return out
+}
+
+// tarjanFrame is an explicit stack frame for the iterative SCC pass.
+type tarjanFrame struct {
+	v    int32 // vertex
+	next int32 // index of the next successor to visit
+}
+
+// SCCs computes the strongly connected components of g using an iterative
+// Tarjan pass. Components are returned in reverse topological order
+// (standard Tarjan emission order). Singleton components without a self-loop
+// are included; use HasCycle/FindCycle for deadlock queries.
+func (g *Digraph) SCCs() [][]int {
+	n := len(g.adj)
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		counter int32
+		stack   []int32
+		frames  []tarjanFrame
+		out     [][]int
+	)
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], tarjanFrame{v: int32(root)})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if int(f.next) < len(g.adj[v]) {
+				w := g.adj[v][f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, tarjanFrame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// All successors of v processed: maybe emit a component.
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, int(w))
+					if w == v {
+						break
+					}
+				}
+				out = append(out, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HasCycle reports whether g contains a directed cycle (including
+// self-loops).
+func (g *Digraph) HasCycle() bool {
+	return g.FindCycle() != nil
+}
+
+// FindCycle returns one directed cycle of g as a vertex sequence
+// v0, v1, ..., vk with an implicit closing edge vk -> v0, or nil when the
+// graph is acyclic. The cycle returned is a shortest cycle within the first
+// cyclic SCC found (BFS inside the component), which keeps deadlock reports
+// small and readable.
+func (g *Digraph) FindCycle() []int {
+	for _, comp := range g.SCCs() {
+		if len(comp) == 1 {
+			v := comp[0]
+			if g.HasEdge(v, v) {
+				return []int{v}
+			}
+			continue
+		}
+		return g.cycleWithin(comp)
+	}
+	return nil
+}
+
+// cycleWithin finds a cycle restricted to the vertices of a (cyclic) SCC.
+func (g *Digraph) cycleWithin(comp []int) []int {
+	in := make(map[int32]bool, len(comp))
+	for _, v := range comp {
+		in[int32(v)] = true
+	}
+	start := int32(comp[0])
+	// BFS from start inside the component, recording parents; the first
+	// edge that returns to start closes a shortest cycle through start.
+	parent := make(map[int32]int32, len(comp))
+	parent[start] = -1
+	queue := []int32{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if !in[w] {
+				continue
+			}
+			if w == start {
+				// Reconstruct start -> ... -> v, closing edge v -> start.
+				var rev []int
+				for u := v; u != -1; u = parent[u] {
+					rev = append(rev, int(u))
+				}
+				// rev is v..start; reverse to start..v.
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			if _, seen := parent[w]; !seen {
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	// Unreachable for a genuine SCC of size >= 2.
+	return comp
+}
+
+// Transpose returns the reverse graph of g.
+func (g *Digraph) Transpose() *Digraph {
+	t := New(len(g.adj))
+	for u, succ := range g.adj {
+		for _, v := range succ {
+			t.AddEdge(int(v), u)
+		}
+	}
+	return t
+}
+
+// Reachable reports whether dst is reachable from src (including src == dst
+// via a path of length zero).
+func (g *Digraph) Reachable(src, dst int) bool {
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, len(g.adj))
+	seen[src] = true
+	stack := []int32{int32(src)}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if int(w) == dst {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,380 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.HasCycle() {
+		t.Fatal("empty graph reported cyclic")
+	}
+	if got := len(g.SCCs()); got != 0 {
+		t.Fatalf("SCCs of empty graph = %d, want 0", got)
+	}
+}
+
+func TestSingleVertexNoEdge(t *testing.T) {
+	g := New(1)
+	if g.HasCycle() {
+		t.Fatal("single vertex without self-loop reported cyclic")
+	}
+	if got := len(g.SCCs()); got != 1 {
+		t.Fatalf("SCC count = %d, want 1", got)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := New(1)
+	g.AddEdge(0, 0)
+	if !g.HasCycle() {
+		t.Fatal("self-loop not detected")
+	}
+	c := g.FindCycle()
+	if len(c) != 1 || c[0] != 0 {
+		t.Fatalf("FindCycle = %v, want [0]", c)
+	}
+}
+
+func TestTwoCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	c := g.FindCycle()
+	if len(c) != 2 {
+		t.Fatalf("cycle length = %d, want 2 (%v)", len(c), c)
+	}
+	checkIsCycle(t, g, c)
+}
+
+func TestDAGNoCycle(t *testing.T) {
+	// A diamond DAG.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	if g.HasCycle() {
+		t.Fatal("DAG reported cyclic")
+	}
+}
+
+func TestLongChainNoCycle(t *testing.T) {
+	const n = 100000
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if g.HasCycle() {
+		t.Fatal("chain reported cyclic")
+	}
+	if got := len(g.SCCs()); got != n {
+		t.Fatalf("SCC count = %d, want %d", got, n)
+	}
+}
+
+func TestLongCycleIterativeDepth(t *testing.T) {
+	// Deep enough to blow a recursive Tarjan; the iterative version must
+	// handle it.
+	const n = 200000
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	c := g.FindCycle()
+	if len(c) != n {
+		t.Fatalf("cycle length = %d, want %d", len(c), n)
+	}
+	checkIsCycle(t, g, c)
+}
+
+func TestDisjointComponents(t *testing.T) {
+	// Component {0,1} acyclic, component {2,3} cyclic.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	c := g.FindCycle()
+	if c == nil {
+		t.Fatal("cycle in second component missed")
+	}
+	checkIsCycle(t, g, c)
+}
+
+func TestCycleReachableFromDAGPrefix(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3 -> 1 : cycle is {1,2,3}.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1)
+	c := g.FindCycle()
+	if len(c) != 3 {
+		t.Fatalf("cycle = %v, want length 3", c)
+	}
+	checkIsCycle(t, g, c)
+	for _, v := range c {
+		if v == 0 {
+			t.Fatalf("vertex 0 (not on cycle) appeared in %v", c)
+		}
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if !g.HasCycle() {
+		t.Fatal("cycle with parallel edges missed")
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestSCCGrouping(t *testing.T) {
+	// Two 3-cycles joined by a one-way bridge.
+	g := New(6)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(i, (i+1)%3)
+		g.AddEdge(3+i, 3+(i+1)%3)
+	}
+	g.AddEdge(2, 3)
+	sccs := g.SCCs()
+	if len(sccs) != 2 {
+		t.Fatalf("SCC count = %d, want 2", len(sccs))
+	}
+	for _, comp := range sccs {
+		if len(comp) != 3 {
+			t.Fatalf("component size = %d, want 3", len(comp))
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	tr := g.Transpose()
+	if !tr.HasEdge(1, 0) || !tr.HasEdge(2, 1) {
+		t.Fatal("transpose missing reversed edges")
+	}
+	if tr.HasEdge(0, 1) {
+		t.Fatal("transpose kept forward edge")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.Reachable(0, 2) {
+		t.Fatal("0 should reach 2")
+	}
+	if g.Reachable(2, 0) {
+		t.Fatal("2 should not reach 0")
+	}
+	if !g.Reachable(3, 3) {
+		t.Fatal("vertex should reach itself")
+	}
+}
+
+func TestGrowAndAddVertex(t *testing.T) {
+	g := New(0)
+	v0 := g.AddVertex()
+	v1 := g.AddVertex()
+	if v0 != 0 || v1 != 1 {
+		t.Fatalf("AddVertex returned %d,%d", v0, v1)
+	}
+	g.Grow(5)
+	if g.NumVertices() != 5 {
+		t.Fatalf("NumVertices = %d, want 5", g.NumVertices())
+	}
+	g.Grow(2) // shrink request must be a no-op
+	if g.NumVertices() != 5 {
+		t.Fatalf("Grow shrank the graph to %d", g.NumVertices())
+	}
+}
+
+// checkIsCycle verifies that c is a genuine directed cycle of g.
+func checkIsCycle(t *testing.T, g *Digraph, c []int) {
+	t.Helper()
+	if len(c) == 0 {
+		t.Fatal("empty cycle")
+	}
+	for i := range c {
+		u, v := c[i], c[(i+1)%len(c)]
+		if !g.HasEdge(u, v) {
+			t.Fatalf("cycle %v: missing edge %d->%d", c, u, v)
+		}
+	}
+}
+
+// naiveHasCycle is a reference implementation: recursive three-colour DFS.
+func naiveHasCycle(g *Digraph) bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make([]int, g.NumVertices())
+	var visit func(v int) bool
+	visit = func(v int) bool {
+		colour[v] = grey
+		for _, w := range g.Succ(v) {
+			switch colour[w] {
+			case grey:
+				return true
+			case white:
+				if visit(int(w)) {
+					return true
+				}
+			}
+		}
+		colour[v] = black
+		return false
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if colour[v] == white && visit(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// randomGraph builds a digraph with n vertices and ~m random edges.
+func randomGraph(r *rand.Rand, n, m int) *Digraph {
+	g := New(n)
+	for i := 0; i < m; i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return g
+}
+
+// Property: Tarjan-based HasCycle agrees with a naive DFS on random graphs.
+func TestQuickCycleAgreesWithNaive(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawM uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(rawN)%40 + 1
+		m := int(rawM) % (n * 3)
+		g := randomGraph(r, n, m)
+		return g.HasCycle() == naiveHasCycle(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FindCycle, when non-nil, always returns a genuine cycle, and is
+// nil exactly when the graph is acyclic.
+func TestQuickFindCycleValid(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawM uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(rawN)%40 + 1
+		m := int(rawM) % (n * 3)
+		g := randomGraph(r, n, m)
+		c := g.FindCycle()
+		if c == nil {
+			return !naiveHasCycle(g)
+		}
+		for i := range c {
+			if !g.HasEdge(c[i], c[(i+1)%len(c)]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every vertex appears in exactly one SCC.
+func TestQuickSCCPartition(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawM uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(rawN)%40 + 1
+		m := int(rawM) % (n * 3)
+		g := randomGraph(r, n, m)
+		seen := make([]int, n)
+		for _, comp := range g.SCCs() {
+			for _, v := range comp {
+				seen[v]++
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SCCs of g and of its transpose are identical as set partitions.
+func TestQuickSCCTransposeInvariant(t *testing.T) {
+	canon := func(sccs [][]int, n int) []int {
+		// label each vertex with the minimum vertex of its component
+		label := make([]int, n)
+		for _, comp := range sccs {
+			min := comp[0]
+			for _, v := range comp {
+				if v < min {
+					min = v
+				}
+			}
+			for _, v := range comp {
+				label[v] = min
+			}
+		}
+		return label
+	}
+	f := func(seed int64, rawN uint8, rawM uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(rawN)%30 + 1
+		m := int(rawM) % (n * 3)
+		g := randomGraph(r, n, m)
+		a := canon(g.SCCs(), n)
+		b := canon(g.Transpose().SCCs(), n)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSCCsSparse(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g := randomGraph(r, 10000, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SCCs()
+	}
+}
+
+func BenchmarkFindCycleChain(b *testing.B) {
+	const n = 10000
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.FindCycle() == nil {
+			b.Fatal("cycle missed")
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/dist"
+	"armus/internal/store"
+	"armus/internal/workloads/course"
+	"armus/internal/workloads/hpcc"
+	"armus/internal/workloads/npb"
+)
+
+// RunTable1 regenerates Table 1: relative execution overhead of deadlock
+// DETECTION (adaptive model, periodic scan) on the NPB/JGF kernels, per
+// task count.
+func RunTable1(o Options) (*Table, error) {
+	return overheadTable(o, core.ModeDetect,
+		"Table 1: relative execution overhead in detection mode")
+}
+
+// RunTable2 regenerates Table 2: relative execution overhead of deadlock
+// AVOIDANCE (check on every block) on the NPB/JGF kernels, per task count.
+func RunTable2(o Options) (*Table, error) {
+	return overheadTable(o, core.ModeAvoid,
+		"Table 2: relative execution overhead in avoidance mode")
+}
+
+func overheadTable(o Options, mode core.Mode, title string) (*Table, error) {
+	o.defaults()
+	t := &Table{Title: title, Header: append([]string{"Threads"}, taskHeaders(o.TaskCounts)...)}
+	for _, k := range npb.Kernels() {
+		row := []string{k.Name}
+		for _, tasks := range o.TaskCounts {
+			base, err := MeasureLocal(o.Samples, core.ModeOff, deps.ModelAuto, 0,
+				func(v *core.Verifier) error {
+					_, err := k.Run(v, npb.Config{Tasks: tasks, Class: o.Class})
+					return err
+				})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%d unchecked: %w", k.Name, tasks, err)
+			}
+			checked, err := MeasureLocal(o.Samples, mode, deps.ModelAuto, o.DetectPeriod,
+				func(v *core.Verifier) error {
+					_, err := k.Run(v, npb.Config{Tasks: tasks, Class: o.Class})
+					return err
+				})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%d checked: %w", k.Name, tasks, err)
+			}
+			row = append(row, Pct(Overhead(checked, base)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Fprint(o.Out)
+	return t, nil
+}
+
+func taskHeaders(counts []int) []string {
+	out := make([]string, len(counts))
+	for i, c := range counts {
+		out[i] = fmt.Sprintf("%d", c)
+	}
+	return out
+}
+
+// RunFig6 regenerates Figure 6: absolute execution time per kernel and
+// task count, unchecked vs detection vs avoidance (the paper plots
+// unchecked and checked series; we print all three).
+func RunFig6(o Options) ([]*Table, error) {
+	o.defaults()
+	var tables []*Table
+	for _, k := range npb.Kernels() {
+		t := &Table{
+			Title:  fmt.Sprintf("Figure 6: benchmark %s execution time (mean ± 95%% CI)", k.Name),
+			Header: []string{"Tasks", "Unchecked", "CI", "Detect", "CI", "Avoid", "CI"},
+		}
+		for _, tasks := range o.TaskCounts {
+			row := []string{fmt.Sprintf("%d", tasks)}
+			for _, mode := range []core.Mode{core.ModeOff, core.ModeDetect, core.ModeAvoid} {
+				m, err := MeasureLocal(o.Samples, mode, deps.ModelAuto, o.DetectPeriod,
+					func(v *core.Verifier) error {
+						_, err := k.Run(v, npb.Config{Tasks: tasks, Class: o.Class})
+						return err
+					})
+				if err != nil {
+					return nil, fmt.Errorf("%s/%d/%v: %w", k.Name, tasks, mode, err)
+				}
+				row = append(row, Dur(m.Mean()), Dur(m.CI95()))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Fprint(o.Out)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// RunFig7 regenerates Figure 7: distributed benchmarks with and without
+// distributed deadlock detection (sites publish every 200 ms and check the
+// merged global view; unchecked sites run with verification off and no
+// publisher).
+func RunFig7(o Options) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		Title:  "Figure 7: distributed deadlock detection (mean ± 95% CI)",
+		Header: []string{"Benchmark", "Unchecked", "CI", "Checked", "CI", "Overhead"},
+	}
+	for _, b := range hpcc.Benchmarks() {
+		base, err := measureDistributed(o, b, false)
+		if err != nil {
+			return nil, fmt.Errorf("%s unchecked: %w", b.Name, err)
+		}
+		checked, err := measureDistributed(o, b, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s checked: %w", b.Name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			b.Name,
+			Dur(base.Mean()), Dur(base.CI95()),
+			Dur(checked.Mean()), Dur(checked.CI95()),
+			Pct(Overhead(checked, base)),
+		})
+	}
+	t.Fprint(o.Out)
+	return t, nil
+}
+
+func measureDistributed(o Options, b hpcc.Benchmark, verified bool) (Measurement, error) {
+	var m Measurement
+	for i := 0; i <= o.Samples; i++ {
+		srv, err := store.NewServer("127.0.0.1:0")
+		if err != nil {
+			return m, err
+		}
+		sites := make([]*dist.Site, o.Sites)
+		for j := range sites {
+			opts := []dist.Option{dist.WithPeriod(dist.DefaultPeriod)}
+			if !verified {
+				opts = append(opts, dist.WithVerifierMode(core.ModeOff))
+			}
+			sites[j] = dist.NewSite(j+1, srv.Addr(), opts...)
+			if verified {
+				sites[j].Start()
+			}
+		}
+		start := time.Now()
+		err = b.Run(sites, hpcc.Config{TasksPerSite: o.TasksPerSite, Class: o.Class})
+		elapsed := time.Since(start)
+		for _, s := range sites {
+			s.Close()
+		}
+		srv.Close()
+		if err != nil {
+			return m, err
+		}
+		if i == 0 {
+			continue
+		}
+		m.Samples = append(m.Samples, elapsed)
+	}
+	return m, nil
+}
+
+// modelChoices are the graph-model selection policies compared in §6.3.
+var modelChoices = []struct {
+	Name  string
+	Model deps.Model
+}{
+	{"Auto", deps.ModelAuto},
+	{"SG", deps.ModelSG},
+	{"WFG", deps.ModelWFG},
+}
+
+// RunFig8 regenerates Figure 8: execution time of the course programs per
+// graph-model choice under deadlock AVOIDANCE.
+func RunFig8(o Options) (*Table, error) {
+	return modelFigure(o, core.ModeAvoid,
+		"Figure 8: graph model choice, avoidance mode (mean ± 95% CI)")
+}
+
+// RunFig9 regenerates Figure 9: execution time of the course programs per
+// graph-model choice under deadlock DETECTION.
+func RunFig9(o Options) (*Table, error) {
+	return modelFigure(o, core.ModeDetect,
+		"Figure 9: graph model choice, detection mode (mean ± 95% CI)")
+}
+
+func modelFigure(o Options, mode core.Mode, title string) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		Title: title,
+		Header: []string{"Benchmark", "Unchecked", "CI",
+			"Auto", "CI", "SG", "CI", "WFG", "CI"},
+	}
+	for _, p := range course.Programs() {
+		row := []string{p.Name}
+		base, err := MeasureLocal(o.Samples, core.ModeOff, deps.ModelAuto, 0,
+			func(v *core.Verifier) error {
+				_, err := p.Run(v, course.Config{Size: o.CourseSize})
+				return err
+			})
+		if err != nil {
+			return nil, fmt.Errorf("%s unchecked: %w", p.Name, err)
+		}
+		row = append(row, Dur(base.Mean()), Dur(base.CI95()))
+		for _, mc := range modelChoices {
+			m, err := MeasureLocal(o.Samples, mode, mc.Model, o.DetectPeriod,
+				func(v *core.Verifier) error {
+					_, err := p.Run(v, course.Config{Size: o.CourseSize})
+					return err
+				})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", p.Name, mc.Name, err)
+			}
+			row = append(row, Dur(m.Mean()), Dur(m.CI95()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Fprint(o.Out)
+	return t, nil
+}
+
+// RunTable3 regenerates Table 3: average edge count per analysis plus the
+// relative verification overhead, per benchmark and per graph-model
+// choice, in both avoidance and detection modes.
+func RunTable3(o Options) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		Title:  "Table 3: edge count and verification overhead per graph mode",
+		Header: []string{"Mode", "Metric", "SE", "FI", "FR", "BFS", "PS"},
+	}
+	type cell struct {
+		edges          float64
+		avoidOv, detOv float64
+	}
+	results := map[string]map[string]cell{} // model -> bench -> cell
+	baseline := map[string]Measurement{}
+	for _, p := range course.Programs() {
+		base, err := MeasureLocal(o.Samples, core.ModeOff, deps.ModelAuto, 0,
+			func(v *core.Verifier) error {
+				_, err := p.Run(v, course.Config{Size: o.CourseSize})
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		baseline[p.Name] = base
+	}
+	for _, mc := range modelChoices {
+		results[mc.Name] = map[string]cell{}
+		for _, p := range course.Programs() {
+			avoid, err := MeasureLocal(o.Samples, core.ModeAvoid, mc.Model, 0,
+				func(v *core.Verifier) error {
+					_, err := p.Run(v, course.Config{Size: o.CourseSize})
+					return err
+				})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s avoid: %w", p.Name, mc.Name, err)
+			}
+			det, err := MeasureLocal(o.Samples, core.ModeDetect, mc.Model, o.DetectPeriod,
+				func(v *core.Verifier) error {
+					_, err := p.Run(v, course.Config{Size: o.CourseSize})
+					return err
+				})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s detect: %w", p.Name, mc.Name, err)
+			}
+			results[mc.Name][p.Name] = cell{
+				edges:   avoid.Stats.AvgEdges(),
+				avoidOv: Overhead(avoid, baseline[p.Name]),
+				detOv:   Overhead(det, baseline[p.Name]),
+			}
+		}
+	}
+	benches := []string{"SE", "FI", "FR", "BFS", "PS"}
+	for _, mc := range modelChoices {
+		edges := []string{mc.Name, "Edges"}
+		avoid := []string{"", "Avoidance"}
+		det := []string{"", "Detection"}
+		for _, b := range benches {
+			c := results[mc.Name][b]
+			edges = append(edges, fmt.Sprintf("%.0f", c.edges))
+			avoid = append(avoid, Pct(c.avoidOv))
+			det = append(det, Pct(c.detOv))
+		}
+		t.Rows = append(t.Rows, edges, avoid, det)
+	}
+	t.Fprint(o.Out)
+	return t, nil
+}
+
+// Experiments maps experiment names (as used by armus-bench -exp) to
+// runners that print to o.Out.
+func Experiments() map[string]func(Options) error {
+	return map[string]func(Options) error{
+		"table1": func(o Options) error { _, err := RunTable1(o); return err },
+		"table2": func(o Options) error { _, err := RunTable2(o); return err },
+		"fig6":   func(o Options) error { _, err := RunFig6(o); return err },
+		"fig7":   func(o Options) error { _, err := RunFig7(o); return err },
+		"fig8":   func(o Options) error { _, err := RunFig8(o); return err },
+		"fig9":   func(o Options) error { _, err := RunFig9(o); return err },
+		"table3": func(o Options) error { _, err := RunTable3(o); return err },
+	}
+}
+
+// ExperimentNames lists the experiments in the paper's order.
+func ExperimentNames() []string {
+	return []string{"table1", "table2", "fig6", "fig7", "fig8", "fig9", "table3"}
+}

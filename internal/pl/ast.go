@@ -1,0 +1,188 @@
+// Package pl implements PL, the core phaser-based language of §3 of the
+// paper: abstract syntax, a small-step interpreter faithful to the
+// operational semantics of Figure 4, and the deadlock characterisation of
+// Definitions 3.1 and 3.2.
+//
+// PL is the formal ground truth of this repository: the property tests in
+// this package check that the graph-based verification of package deps is
+// sound and complete with respect to PL's notion of deadlock (Theorems
+// 4.10 and 4.15), and cmd/plcheck uses the interpreter to explore schedules
+// of user-written PL programs.
+package pl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is a PL instruction c of the grammar
+//
+//	c ::= t = newTid() | fork(t) s | p = newPhaser() | reg(p, t)
+//	    | dereg(p) | adv(p) | await(p) | loop s | skip
+type Instr interface {
+	isInstr()
+	writeTo(b *strings.Builder, indent int)
+}
+
+// Seq is an instruction sequence s ::= c; s | end.
+type Seq []Instr
+
+// NewTid is "t = newTid()": bind a fresh task name to Var. The new task
+// exists immediately with the empty body end ([new-t]); fork later supplies
+// its body.
+type NewTid struct{ Var string }
+
+// Fork is "fork(t) s": start the (not yet started) task bound to Var with
+// body Body ([fork]).
+type Fork struct {
+	Var  string
+	Body Seq
+}
+
+// NewPhaser is "p = newPhaser()": bind a fresh phaser to Var, with the
+// current task registered at phase 0 ([new-ph]).
+type NewPhaser struct{ Var string }
+
+// Reg is "reg(p, t)": register the task bound to Task with the phaser bound
+// to Phaser; the newcomer inherits the current task's phase ([reg]).
+type Reg struct{ Phaser, Task string }
+
+// Dereg is "dereg(p)": revoke the current task's membership ([dereg]).
+type Dereg struct{ Phaser string }
+
+// Adv is "adv(p)": increment the current task's local phase ([adv]).
+type Adv struct{ Phaser string }
+
+// Await is "await(p)": block until every member of p has reached the
+// current task's local phase ([sync]).
+type Await struct{ Phaser string }
+
+// Loop is "loop s": unfold Body an arbitrary number of times, possibly
+// zero ([i-loop]/[e-loop]) — the abstraction of loops and conditionals.
+type Loop struct{ Body Seq }
+
+// Skip is "skip": the abstraction of all data operations ([skip]).
+type Skip struct{}
+
+func (NewTid) isInstr()    {}
+func (Fork) isInstr()      {}
+func (NewPhaser) isInstr() {}
+func (Reg) isInstr()       {}
+func (Dereg) isInstr()     {}
+func (Adv) isInstr()       {}
+func (Await) isInstr()     {}
+func (Loop) isInstr()      {}
+func (Skip) isInstr()      {}
+
+func pad(b *strings.Builder, indent int) {
+	for i := 0; i < indent; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func (i NewTid) writeTo(b *strings.Builder, ind int) {
+	pad(b, ind)
+	fmt.Fprintf(b, "%s = newTid();\n", i.Var)
+}
+
+func (i NewPhaser) writeTo(b *strings.Builder, ind int) {
+	pad(b, ind)
+	fmt.Fprintf(b, "%s = newPhaser();\n", i.Var)
+}
+
+func (i Fork) writeTo(b *strings.Builder, ind int) {
+	pad(b, ind)
+	fmt.Fprintf(b, "fork(%s) {\n", i.Var)
+	i.Body.writeTo(b, ind+1)
+	pad(b, ind)
+	b.WriteString("}\n")
+}
+
+func (i Reg) writeTo(b *strings.Builder, ind int) {
+	pad(b, ind)
+	fmt.Fprintf(b, "reg(%s, %s);\n", i.Phaser, i.Task)
+}
+
+func (i Dereg) writeTo(b *strings.Builder, ind int) {
+	pad(b, ind)
+	fmt.Fprintf(b, "dereg(%s);\n", i.Phaser)
+}
+
+func (i Adv) writeTo(b *strings.Builder, ind int) {
+	pad(b, ind)
+	fmt.Fprintf(b, "adv(%s);\n", i.Phaser)
+}
+
+func (i Await) writeTo(b *strings.Builder, ind int) {
+	pad(b, ind)
+	fmt.Fprintf(b, "await(%s);\n", i.Phaser)
+}
+
+func (i Loop) writeTo(b *strings.Builder, ind int) {
+	pad(b, ind)
+	b.WriteString("loop {\n")
+	i.Body.writeTo(b, ind+1)
+	pad(b, ind)
+	b.WriteString("}\n")
+}
+
+func (i Skip) writeTo(b *strings.Builder, ind int) {
+	pad(b, ind)
+	b.WriteString("skip;\n")
+}
+
+func (s Seq) writeTo(b *strings.Builder, ind int) {
+	for _, i := range s {
+		i.writeTo(b, ind)
+	}
+}
+
+// String renders the sequence in the concrete syntax accepted by Parse.
+func (s Seq) String() string {
+	var b strings.Builder
+	s.writeTo(&b, 0)
+	return b.String()
+}
+
+// RunningExample returns the PL program of Figure 3: the paper's running
+// example (parallel 1-D iterative averaging) with its deadlock — the driver
+// task is registered with the cyclic barrier pc but never advances it.
+func RunningExample() Seq {
+	worker := Seq{
+		Loop{Body: Seq{
+			Skip{},
+			Adv{"pc"}, Await{"pc"},
+			Skip{},
+			Adv{"pc"}, Await{"pc"},
+		}},
+		Dereg{"pc"},
+		Dereg{"pb"},
+	}
+	return Seq{
+		NewPhaser{"pc"},
+		NewPhaser{"pb"},
+		Loop{Body: Seq{
+			NewTid{"t"},
+			Reg{"pc", "t"},
+			Reg{"pb", "t"},
+			Fork{Var: "t", Body: worker},
+		}},
+		Adv{"pb"}, Await{"pb"},
+		Skip{},
+	}
+}
+
+// FixedRunningExample is RunningExample with the standard fix applied: the
+// driver drops its membership of the cyclic barrier before joining
+// (c.drop() before the finish in §2.1).
+func FixedRunningExample() Seq {
+	s := RunningExample()
+	out := make(Seq, 0, len(s)+1)
+	for _, i := range s {
+		if a, ok := i.(Adv); ok && a.Phaser == "pb" {
+			out = append(out, Dereg{"pc"})
+		}
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,471 @@
+package pl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"armus/internal/deps"
+)
+
+// TaskName is a run-time task name t ∈ T.
+type TaskName int
+
+// PhaserName is a run-time phaser name p ∈ P.
+type PhaserName int
+
+// Phaser is the formal phaser P: a map from member task names to local
+// phases (§3, "Phasers").
+type Phaser map[TaskName]int64
+
+// Await is the predicate await(P, n): every member's phase is at least n.
+func (p Phaser) Await(n int64) bool {
+	for _, m := range p {
+		if m < n {
+			return false
+		}
+	}
+	return true
+}
+
+// Kind tags a Value.
+type Kind int
+
+// Value kinds.
+const (
+	KindTask Kind = iota
+	KindPhaser
+)
+
+// Value is a run-time value: a task or phaser name. PL has no other data.
+type Value struct {
+	Kind Kind
+	ID   int
+}
+
+// Thread is one task's runtime state: its variable environment and its
+// continuation (the instruction sequence still to run, flattened).
+type Thread struct {
+	Env  map[string]Value
+	Cont Seq
+	// Started distinguishes a task created by newTid (a placeholder with
+	// body end, eligible to be the target of fork) from a running task.
+	Started bool
+}
+
+// State is the PL machine state S = (M, T) (§3, "PL semantics").
+type State struct {
+	M map[PhaserName]Phaser
+	T map[TaskName]*Thread
+
+	nextTask   TaskName
+	nextPhaser PhaserName
+	Root       TaskName
+}
+
+// NewState initialises a state with a single root task running prog.
+func NewState(prog Seq) *State {
+	s := &State{
+		M: make(map[PhaserName]Phaser),
+		T: make(map[TaskName]*Thread),
+	}
+	root := s.freshTask()
+	s.Root = root
+	s.T[root] = &Thread{Env: map[string]Value{}, Cont: prog, Started: true}
+	return s
+}
+
+func (s *State) freshTask() TaskName {
+	s.nextTask++
+	return s.nextTask
+}
+
+func (s *State) freshPhaser() PhaserName {
+	s.nextPhaser++
+	return s.nextPhaser
+}
+
+// Errors produced by ill-formed programs (premise violations that are not
+// blocking conditions).
+var (
+	ErrUnboundVar       = errors.New("pl: unbound variable")
+	ErrNotTask          = errors.New("pl: value is not a task name")
+	ErrNotPhaser        = errors.New("pl: value is not a phaser name")
+	ErrNotMember        = errors.New("pl: task is not registered with phaser")
+	ErrAlreadyMember    = errors.New("pl: task is already registered with phaser")
+	ErrForkTarget       = errors.New("pl: fork target is not a fresh task")
+	ErrUnknownTask      = errors.New("pl: no such task")
+	ErrRegAfterStart    = errors.New("pl: cannot fork a started task")
+	ErrStepNotEnabled   = errors.New("pl: instruction is not enabled")
+	ErrNoEnabledAndDone = errors.New("pl: no enabled task")
+)
+
+func (th *Thread) lookupTask(v string) (TaskName, error) {
+	val, ok := th.Env[v]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnboundVar, v)
+	}
+	if val.Kind != KindTask {
+		return 0, fmt.Errorf("%w: %s", ErrNotTask, v)
+	}
+	return TaskName(val.ID), nil
+}
+
+func (th *Thread) lookupPhaser(v string) (PhaserName, error) {
+	val, ok := th.Env[v]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnboundVar, v)
+	}
+	if val.Kind != KindPhaser {
+		return 0, fmt.Errorf("%w: %s", ErrNotPhaser, v)
+	}
+	return PhaserName(val.ID), nil
+}
+
+// Enabled reports whether task t can take a step. Every instruction except
+// await is always enabled ([sync] is the only rule with a blocking
+// premise); premise *violations* of other rules surface as errors from
+// Step, not as disabledness. A task with an empty continuation is done and
+// not enabled.
+func (s *State) Enabled(t TaskName) bool {
+	th, ok := s.T[t]
+	if !ok || len(th.Cont) == 0 || !th.Started {
+		return false
+	}
+	if aw, isAwait := th.Cont[0].(Await); isAwait {
+		p, err := th.lookupPhaser(aw.Phaser)
+		if err != nil {
+			return true // the error will surface on Step
+		}
+		ph, ok := s.M[p]
+		if !ok {
+			return true
+		}
+		n, member := ph[t]
+		if !member {
+			return true // error on Step
+		}
+		return ph.Await(n)
+	}
+	return true
+}
+
+// BlockedOn returns, for a task whose head is await(p), the phaser and the
+// awaited phase. ok is false for any other task state.
+func (s *State) BlockedOn(t TaskName) (PhaserName, int64, bool) {
+	th, ok := s.T[t]
+	if !ok || !th.Started || len(th.Cont) == 0 {
+		return 0, 0, false
+	}
+	aw, isAwait := th.Cont[0].(Await)
+	if !isAwait {
+		return 0, 0, false
+	}
+	p, err := th.lookupPhaser(aw.Phaser)
+	if err != nil {
+		return 0, 0, false
+	}
+	n, member := s.M[p][t]
+	if !member {
+		return 0, 0, false
+	}
+	return p, n, true
+}
+
+// LoopPolicy decides, each time a loop instruction is reached, whether to
+// unfold its body once more ([i-loop]) or to exit ([e-loop]).
+type LoopPolicy func() bool
+
+// Step executes the head instruction of task t, following Figure 4.
+// loop decides unfold-vs-exit for Loop instructions.
+func (s *State) Step(t TaskName, loop LoopPolicy) error {
+	th, ok := s.T[t]
+	if !ok {
+		return ErrUnknownTask
+	}
+	if len(th.Cont) == 0 || !th.Started {
+		return ErrStepNotEnabled
+	}
+	head, rest := th.Cont[0], th.Cont[1:]
+	switch c := head.(type) {
+	case Skip: // [skip]
+		th.Cont = rest
+
+	case Loop: // [i-loop] / [e-loop]
+		if loop != nil && loop() {
+			unfolded := make(Seq, 0, len(c.Body)+1+len(rest))
+			unfolded = append(unfolded, c.Body...)
+			unfolded = append(unfolded, c)
+			th.Cont = append(unfolded, rest...)
+		} else {
+			th.Cont = rest
+		}
+
+	case NewTid: // [new-t]
+		fresh := s.freshTask()
+		s.T[fresh] = &Thread{Env: map[string]Value{}, Cont: nil, Started: false}
+		th.Env[c.Var] = Value{KindTask, int(fresh)}
+		th.Cont = rest
+
+	case Fork: // [fork]
+		target, err := th.lookupTask(c.Var)
+		if err != nil {
+			return err
+		}
+		tt, ok := s.T[target]
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownTask, target)
+		}
+		if tt.Started || len(tt.Cont) != 0 {
+			return ErrForkTarget
+		}
+		env := make(map[string]Value, len(th.Env))
+		for k, v := range th.Env {
+			env[k] = v
+		}
+		tt.Env = env
+		tt.Cont = c.Body
+		tt.Started = true
+		th.Cont = rest
+
+	case NewPhaser: // [new-ph]: creator registered at 0
+		fresh := s.freshPhaser()
+		s.M[fresh] = Phaser{t: 0}
+		th.Env[c.Var] = Value{KindPhaser, int(fresh)}
+		th.Cont = rest
+
+	case Reg: // [reg]: newcomer inherits the current task's phase
+		p, err := th.lookupPhaser(c.Phaser)
+		if err != nil {
+			return err
+		}
+		newcomer, err := th.lookupTask(c.Task)
+		if err != nil {
+			return err
+		}
+		ph := s.M[p]
+		n, member := ph[t]
+		if !member {
+			return fmt.Errorf("%w: reg by task %d on phaser %d", ErrNotMember, t, p)
+		}
+		if _, dup := ph[newcomer]; dup {
+			return fmt.Errorf("%w: task %d on phaser %d", ErrAlreadyMember, newcomer, p)
+		}
+		ph[newcomer] = n
+		th.Cont = rest
+
+	case Dereg: // [dereg]
+		p, err := th.lookupPhaser(c.Phaser)
+		if err != nil {
+			return err
+		}
+		if _, member := s.M[p][t]; !member {
+			return fmt.Errorf("%w: dereg by task %d on phaser %d", ErrNotMember, t, p)
+		}
+		delete(s.M[p], t)
+		th.Cont = rest
+
+	case Adv: // [adv]
+		p, err := th.lookupPhaser(c.Phaser)
+		if err != nil {
+			return err
+		}
+		if _, member := s.M[p][t]; !member {
+			return fmt.Errorf("%w: adv by task %d on phaser %d", ErrNotMember, t, p)
+		}
+		s.M[p][t]++
+		th.Cont = rest
+
+	case Await: // [sync]
+		p, err := th.lookupPhaser(c.Phaser)
+		if err != nil {
+			return err
+		}
+		n, member := s.M[p][t]
+		if !member {
+			return fmt.Errorf("%w: await by task %d on phaser %d", ErrNotMember, t, p)
+		}
+		if !s.M[p].Await(n) {
+			return ErrStepNotEnabled
+		}
+		th.Cont = rest
+
+	default:
+		return fmt.Errorf("pl: unknown instruction %T", head)
+	}
+	return nil
+}
+
+// EnabledTasks returns every task that can take a step, sorted.
+func (s *State) EnabledTasks() []TaskName {
+	var out []TaskName
+	for t := range s.T {
+		if s.Enabled(t) {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot is the abstraction function ϕ of Definition 4.1: it renders the
+// machine state as the resource-dependency input of the Armus analysis.
+// Each task whose head is await(p) waits for event (p, n) where n is its
+// local phase, and impedes — via its registration vector — every later
+// event of the phasers it is a member of.
+func (s *State) Snapshot() []deps.Blocked {
+	// Registration vectors need the reverse index task -> phasers.
+	regs := make(map[TaskName][]deps.Reg)
+	var phasers []PhaserName
+	for p := range s.M {
+		phasers = append(phasers, p)
+	}
+	sort.Slice(phasers, func(i, j int) bool { return phasers[i] < phasers[j] })
+	for _, p := range phasers {
+		for t, n := range s.M[p] {
+			regs[t] = append(regs[t], deps.Reg{Phaser: deps.PhaserID(p), Phase: n})
+		}
+	}
+	var out []deps.Blocked
+	var tasks []TaskName
+	for t := range s.T {
+		tasks = append(tasks, t)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+	for _, t := range tasks {
+		p, n, ok := s.BlockedOn(t)
+		if !ok {
+			continue
+		}
+		out = append(out, deps.Blocked{
+			Task:     deps.TaskID(t),
+			WaitsFor: []deps.Resource{{Phaser: deps.PhaserID(p), Phase: n}},
+			Regs:     regs[t],
+		})
+	}
+	return out
+}
+
+// Outcome classifies a finished run.
+type Outcome int
+
+// Run outcomes.
+const (
+	// OutcomeDone: every task ran to completion (empty continuation).
+	OutcomeDone Outcome = iota
+	// OutcomeDeadlock: no enabled task and the state is deadlocked in the
+	// sense of Definition 3.2.
+	OutcomeDeadlock
+	// OutcomeStuck: no enabled task, tasks remain incomplete, but the
+	// state is NOT deadlocked — e.g. tasks awaiting a phaser whose laggard
+	// member terminated without deregistering (an orphaned barrier, which
+	// Definition 3.2 deliberately does not classify as deadlock).
+	OutcomeStuck
+	// OutcomeExhausted: the step budget ran out first.
+	OutcomeExhausted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeDone:
+		return "done"
+	case OutcomeDeadlock:
+		return "deadlock"
+	case OutcomeStuck:
+		return "stuck"
+	case OutcomeExhausted:
+		return "exhausted"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Result reports a completed run.
+type Result struct {
+	Outcome Outcome
+	Steps   int
+	// Deadlocked is the greatest totally-deadlocked subset at the final
+	// state (Definition 3.1), empty unless Outcome == OutcomeDeadlock.
+	Deadlocked []TaskName
+	// Err is the premise-violation error of an ill-formed program, if any.
+	Err   error
+	Final *State
+}
+
+// RunConfig configures Run.
+type RunConfig struct {
+	// MaxSteps bounds the run (default 10_000).
+	MaxSteps int
+	// Seed drives the random scheduler and the loop policy.
+	Seed int64
+	// LoopProb is the probability of unfolding a loop once more
+	// (default 0.5); each loop site also has a hard cap of MaxUnfold.
+	LoopProb float64
+	// MaxUnfold caps total unfold decisions, preventing unbounded
+	// spawning (default 64).
+	MaxUnfold int
+}
+
+// Run executes prog under a uniformly random scheduler until quiescence or
+// budget exhaustion, then classifies the final state.
+func Run(prog Seq, cfg RunConfig) Result {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 10_000
+	}
+	if cfg.LoopProb == 0 {
+		cfg.LoopProb = 0.5
+	}
+	if cfg.MaxUnfold == 0 {
+		cfg.MaxUnfold = 64
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	unfolds := 0
+	loop := func() bool {
+		if unfolds >= cfg.MaxUnfold {
+			return false
+		}
+		if rng.Float64() < cfg.LoopProb {
+			unfolds++
+			return true
+		}
+		return false
+	}
+	s := NewState(prog)
+	res := Result{Final: s}
+	for res.Steps < cfg.MaxSteps {
+		enabled := s.EnabledTasks()
+		if len(enabled) == 0 {
+			break
+		}
+		t := enabled[rng.Intn(len(enabled))]
+		if err := s.Step(t, loop); err != nil {
+			res.Err = err
+			break
+		}
+		res.Steps++
+	}
+	if res.Steps >= cfg.MaxSteps {
+		res.Outcome = OutcomeExhausted
+		return res
+	}
+	res.Deadlocked = TotallyDeadlockedSubset(s)
+	switch {
+	case len(res.Deadlocked) > 0:
+		res.Outcome = OutcomeDeadlock
+	case s.allDone():
+		res.Outcome = OutcomeDone
+	default:
+		res.Outcome = OutcomeStuck
+	}
+	return res
+}
+
+func (s *State) allDone() bool {
+	for _, th := range s.T {
+		if len(th.Cont) != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,55 @@
+package pl
+
+import "sort"
+
+// TotallyDeadlockedSubset computes the greatest task set T” such that
+// (M, T”) is totally deadlocked in the sense of Definition 3.1: T” is
+// non-empty and every t ∈ T” has head await(p) with local phase n and some
+// t' ∈ T” with M(p)(t') < n. By Definition 3.2 the state is deadlocked iff
+// such a non-empty subset exists, and the union of all such subsets is
+// itself one, so the greatest fixpoint decides deadlock exactly.
+//
+// The fixpoint starts from every awaiting task and repeatedly discards
+// tasks whose await is not impeded by a task still in the candidate set.
+func TotallyDeadlockedSubset(s *State) []TaskName {
+	type waitInfo struct {
+		p PhaserName
+		n int64
+	}
+	cand := make(map[TaskName]waitInfo)
+	for t := range s.T {
+		if p, n, ok := s.BlockedOn(t); ok {
+			cand[t] = waitInfo{p, n}
+		}
+	}
+	for {
+		removed := false
+		for t, w := range cand {
+			impeded := false
+			for t2 := range cand {
+				if m, member := s.M[w.p][t2]; member && m < w.n {
+					impeded = true
+					break
+				}
+			}
+			if !impeded {
+				delete(cand, t)
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	out := make([]TaskName, 0, len(cand))
+	for t := range cand {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsDeadlocked reports whether the state is deadlocked (Definition 3.2).
+func IsDeadlocked(s *State) bool {
+	return len(TotallyDeadlockedSubset(s)) > 0
+}

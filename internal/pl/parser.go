@@ -1,0 +1,272 @@
+package pl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a PL program in the concrete syntax of Figure 3:
+//
+//	pc = newPhaser();
+//	pb = newPhaser();
+//	loop {
+//	  t = newTid();
+//	  reg(pc, t); reg(pb, t);
+//	  fork(t) {
+//	    loop { skip; adv(pc); await(pc); skip; adv(pc); await(pc); }
+//	    dereg(pc);
+//	    dereg(pb);
+//	  }
+//	}
+//	adv(pb); await(pb);
+//	skip;
+//
+// Line comments start with "//" or "#". Semicolons terminate simple
+// statements; blocks are brace-delimited.
+func Parse(src string) (Seq, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	seq, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("pl: line %d: unexpected %q", p.peek().line, p.peek().text)
+	}
+	return seq, nil
+}
+
+type token struct {
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.ContainsRune("=(),;{}", rune(c)):
+			toks = append(toks, token{string(c), line})
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("pl: line %d: unexpected character %q", line, c)
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{"<eof>", -1}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("pl: line %d: expected %q, found %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+// parseSeq parses statements until EOF or a closing brace.
+func (p *parser) parseSeq() (Seq, error) {
+	var seq Seq
+	for !p.eof() && p.peek().text != "}" {
+		instr, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, instr)
+	}
+	return seq, nil
+}
+
+func (p *parser) parseBlock() (Seq, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	seq, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return seq, nil
+}
+
+func (p *parser) parseCallArg() (string, error) {
+	if err := p.expect("("); err != nil {
+		return "", err
+	}
+	arg := p.next()
+	if !isIdent(arg.text) {
+		return "", fmt.Errorf("pl: line %d: expected identifier, found %q", arg.line, arg.text)
+	}
+	if err := p.expect(")"); err != nil {
+		return "", err
+	}
+	return arg.text, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if !(unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r))) {
+			return false
+		}
+	}
+	switch s {
+	case "loop", "skip", "fork", "reg", "dereg", "adv", "await", "newTid", "newPhaser":
+		return false
+	}
+	return true
+}
+
+func (p *parser) parseStmt() (Instr, error) {
+	t := p.next()
+	switch t.text {
+	case "skip":
+		return Skip{}, p.expect(";")
+
+	case "loop":
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		p.optionalSemi()
+		return Loop{Body: body}, nil
+
+	case "fork":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		v := p.next()
+		if !isIdent(v.text) {
+			return nil, fmt.Errorf("pl: line %d: expected task variable, found %q", v.line, v.text)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		p.optionalSemi()
+		return Fork{Var: v.text, Body: body}, nil
+
+	case "reg":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		ph := p.next()
+		if !isIdent(ph.text) {
+			return nil, fmt.Errorf("pl: line %d: expected phaser variable, found %q", ph.line, ph.text)
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		tk := p.next()
+		if !isIdent(tk.text) {
+			return nil, fmt.Errorf("pl: line %d: expected task variable, found %q", tk.line, tk.text)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Reg{Phaser: ph.text, Task: tk.text}, p.expect(";")
+
+	case "dereg":
+		arg, err := p.parseCallArg()
+		if err != nil {
+			return nil, err
+		}
+		return Dereg{Phaser: arg}, p.expect(";")
+
+	case "adv":
+		arg, err := p.parseCallArg()
+		if err != nil {
+			return nil, err
+		}
+		return Adv{Phaser: arg}, p.expect(";")
+
+	case "await":
+		arg, err := p.parseCallArg()
+		if err != nil {
+			return nil, err
+		}
+		return Await{Phaser: arg}, p.expect(";")
+
+	default:
+		// Assignment: ident = newTid() ; | ident = newPhaser() ;
+		if !isIdent(t.text) {
+			return nil, fmt.Errorf("pl: line %d: unexpected %q", t.line, t.text)
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		fn := p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		switch fn.text {
+		case "newTid":
+			return NewTid{Var: t.text}, nil
+		case "newPhaser":
+			return NewPhaser{Var: t.text}, nil
+		default:
+			return nil, fmt.Errorf("pl: line %d: unknown constructor %q", fn.line, fn.text)
+		}
+	}
+}
+
+func (p *parser) optionalSemi() {
+	if !p.eof() && p.peek().text == ";" {
+		p.pos++
+	}
+}

@@ -1,0 +1,485 @@
+package pl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"armus/internal/deps"
+)
+
+func mustRunSteps(t *testing.T, s *State, task TaskName, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := s.Step(task, func() bool { return false }); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestNewPhaserRegistersCreator(t *testing.T) {
+	s := NewState(Seq{NewPhaser{"p"}})
+	mustRunSteps(t, s, s.Root, 1)
+	if len(s.M) != 1 {
+		t.Fatalf("phaser map size = %d", len(s.M))
+	}
+	for _, ph := range s.M {
+		if n, ok := ph[s.Root]; !ok || n != 0 {
+			t.Fatalf("creator registration = %d,%v want 0,true", n, ok)
+		}
+	}
+}
+
+func TestAdvAwaitSoloTask(t *testing.T) {
+	s := NewState(Seq{NewPhaser{"p"}, Adv{"p"}, Await{"p"}, Skip{}})
+	for len(s.EnabledTasks()) > 0 {
+		mustRunSteps(t, s, s.Root, 1)
+	}
+	if !s.allDone() {
+		t.Fatal("solo task did not finish")
+	}
+}
+
+func TestAwaitBlocksOnLaggard(t *testing.T) {
+	// Root creates p, registers a child, forks it with an empty body that
+	// never advances, then adv+await: root blocks (but this is NOT a
+	// deadlock: only root awaits).
+	prog := Seq{
+		NewPhaser{"p"},
+		NewTid{"t"},
+		Reg{"p", "t"},
+		Fork{Var: "t", Body: Seq{Skip{}}},
+		Adv{"p"},
+		Await{"p"},
+	}
+	res := Run(prog, RunConfig{Seed: 1})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Outcome != OutcomeStuck {
+		t.Fatalf("outcome = %v, want stuck (orphaned barrier, not deadlock)", res.Outcome)
+	}
+	if IsDeadlocked(res.Final) {
+		t.Fatal("orphaned barrier misclassified as deadlock (Def 3.2 requires mutual waiting)")
+	}
+}
+
+func TestMutualAwaitIsDeadlock(t *testing.T) {
+	// Two tasks, two phasers, classic circular wait: root advances p and
+	// awaits it while the child advances q and awaits q; each is the
+	// laggard of the other's phaser.
+	prog := Seq{
+		NewPhaser{"p"},
+		NewPhaser{"q"},
+		NewTid{"t"},
+		Reg{"p", "t"},
+		Reg{"q", "t"},
+		Fork{Var: "t", Body: Seq{
+			Adv{"q"}, Await{"q"}, // child waits q; root never advances q
+		}},
+		Adv{"p"}, Await{"p"}, // root waits p; child never advances p
+	}
+	res := Run(prog, RunConfig{Seed: 7})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Outcome != OutcomeDeadlock {
+		t.Fatalf("outcome = %v, want deadlock", res.Outcome)
+	}
+	if len(res.Deadlocked) != 2 {
+		t.Fatalf("deadlocked set = %v, want both tasks", res.Deadlocked)
+	}
+	// And the graph analysis must agree (Theorem 4.15).
+	snap := res.Final.Snapshot()
+	if !deps.BuildWFG(snap).Graph.HasCycle() {
+		t.Fatal("WFG misses the deadlock the oracle found")
+	}
+}
+
+func TestRunningExampleOutcomes(t *testing.T) {
+	// Figure 3 deadlocks whenever at least one worker enters its loop; it
+	// completes when every worker exits immediately. Over many seeds both
+	// outcomes must appear, and every deadlock must be confirmed by both
+	// the oracle and the graph analysis.
+	var deadlocks, dones int
+	for seed := int64(0); seed < 60; seed++ {
+		res := Run(RunningExample(), RunConfig{Seed: seed, MaxUnfold: 8})
+		if res.Err != nil {
+			t.Fatalf("seed %d: %v", seed, res.Err)
+		}
+		switch res.Outcome {
+		case OutcomeDeadlock:
+			deadlocks++
+			snap := res.Final.Snapshot()
+			if !deps.BuildWFG(snap).Graph.HasCycle() {
+				t.Fatalf("seed %d: oracle deadlock, WFG acyclic", seed)
+			}
+			if !deps.BuildSG(snap).Graph.HasCycle() {
+				t.Fatalf("seed %d: oracle deadlock, SG acyclic", seed)
+			}
+		case OutcomeDone:
+			dones++
+		case OutcomeStuck:
+			t.Fatalf("seed %d: running example stuck-but-not-deadlocked", seed)
+		}
+	}
+	if deadlocks == 0 || dones == 0 {
+		t.Fatalf("outcome spread too narrow: %d deadlocks, %d dones", deadlocks, dones)
+	}
+}
+
+func TestFixedRunningExampleNeverDeadlocks(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		res := Run(FixedRunningExample(), RunConfig{Seed: seed, MaxUnfold: 8})
+		if res.Err != nil {
+			t.Fatalf("seed %d: %v", seed, res.Err)
+		}
+		if res.Outcome != OutcomeDone {
+			t.Fatalf("seed %d: fixed example outcome = %v", seed, res.Outcome)
+		}
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		prog Seq
+		want error
+	}{
+		{"unbound await", Seq{Await{"nope"}}, ErrUnboundVar},
+		{"unbound adv", Seq{Adv{"nope"}}, ErrUnboundVar},
+		{"adv by non-member", Seq{NewPhaser{"p"}, Dereg{"p"}, Adv{"p"}}, ErrNotMember},
+		{"await by non-member", Seq{NewPhaser{"p"}, Dereg{"p"}, Await{"p"}}, ErrNotMember},
+		{"dereg twice", Seq{NewPhaser{"p"}, Dereg{"p"}, Dereg{"p"}}, ErrNotMember},
+		{"double reg", Seq{NewPhaser{"p"}, NewTid{"t"}, Reg{"p", "t"}, Reg{"p", "t"}}, ErrAlreadyMember},
+		{"fork unbound", Seq{Fork{Var: "t"}}, ErrUnboundVar},
+		{"fork phaser", Seq{NewPhaser{"p"}, Fork{Var: "p"}}, ErrNotTask},
+		{"reg with task as phaser", Seq{NewTid{"t"}, Reg{"t", "t"}}, ErrNotPhaser},
+		{"reg by non-member", Seq{NewPhaser{"p"}, Dereg{"p"}, NewTid{"t"}, Reg{"p", "t"}}, ErrNotMember},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Run(tc.prog, RunConfig{Seed: 1})
+			if !errors.Is(res.Err, tc.want) {
+				t.Fatalf("err = %v, want %v", res.Err, tc.want)
+			}
+		})
+	}
+}
+
+func TestForkTwiceFails(t *testing.T) {
+	prog := Seq{
+		NewTid{"t"},
+		Fork{Var: "t", Body: Seq{Skip{}}},
+		Fork{Var: "t", Body: Seq{Skip{}}},
+	}
+	res := Run(prog, RunConfig{Seed: 1})
+	if !errors.Is(res.Err, ErrForkTarget) {
+		t.Fatalf("err = %v, want ErrForkTarget", res.Err)
+	}
+}
+
+func TestForkCopiesEnvironment(t *testing.T) {
+	// The child sees p; rebinding p in the parent afterwards must not
+	// affect the child (environments are copied at fork).
+	prog := Seq{
+		NewPhaser{"p"},
+		NewTid{"t"},
+		Reg{"p", "t"},
+		Fork{Var: "t", Body: Seq{Adv{"p"}, Await{"p"}, Dereg{"p"}}},
+		NewPhaser{"p"}, // parent shadows p with a fresh phaser
+		Adv{"p"}, Await{"p"},
+		// parent never advances the first p: the child would deadlock if
+		// the parent's membership of the FIRST p blocked it — it does, so
+		// deregister from the first p via the child's dereg only.
+	}
+	// Parent is a member of first p at 0; child awaits first p at 1: the
+	// child is stuck on the parent but the parent finishes => stuck, not
+	// deadlocked.
+	res := Run(prog, RunConfig{Seed: 3})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Outcome != OutcomeStuck {
+		t.Fatalf("outcome = %v, want stuck", res.Outcome)
+	}
+}
+
+func TestLoopUnfoldZeroAndMany(t *testing.T) {
+	prog := Seq{Loop{Body: Seq{Skip{}}}, Skip{}}
+	// Policy: never unfold.
+	s := NewState(prog)
+	if err := s.Step(s.Root, func() bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.T[s.Root].Cont) != 1 {
+		t.Fatalf("loop exit left cont = %v", s.T[s.Root].Cont)
+	}
+	// Policy: unfold twice then stop.
+	s2 := NewState(prog)
+	n := 0
+	policy := func() bool { n++; return n <= 2 }
+	steps := 0
+	for len(s2.EnabledTasks()) > 0 {
+		if err := s2.Step(s2.Root, policy); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	// loop(unfold) skip loop(unfold) skip loop(exit) skip = 6 steps.
+	if steps != 6 {
+		t.Fatalf("steps = %d, want 6", steps)
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	prog := Seq{
+		NewPhaser{"p"},
+		NewTid{"t"},
+		Reg{"p", "t"},
+		Fork{Var: "t", Body: Seq{Skip{}}},
+		Adv{"p"},
+		Await{"p"},
+	}
+	res := Run(prog, RunConfig{Seed: 1})
+	if res.Outcome != OutcomeStuck {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	snap := res.Final.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %+v, want 1 blocked task", snap)
+	}
+	b := snap[0]
+	if b.Task != deps.TaskID(res.Final.Root) {
+		t.Fatalf("blocked task = %d, want root", b.Task)
+	}
+	if len(b.WaitsFor) != 1 || b.WaitsFor[0].Phase != 1 {
+		t.Fatalf("waits = %v, want phase 1", b.WaitsFor)
+	}
+	if len(b.Regs) != 1 || b.Regs[0].Phase != 1 {
+		t.Fatalf("regs = %v", b.Regs)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := RunningExample().String()
+	parsed, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse of pretty-printed program failed: %v\n%s", err, src)
+	}
+	if parsed.String() != src {
+		t.Fatalf("round trip mismatch:\n--- printed\n%s\n--- reparsed\n%s", src, parsed.String())
+	}
+}
+
+func TestParseFigure3Verbatim(t *testing.T) {
+	src := `
+// Figure 3: PL for the example in Figure 1.
+pc = newPhaser();
+pb = newPhaser();
+loop {
+  t = newTid();
+  reg(pc, t); reg(pb, t);
+  fork(t) {
+    loop {
+      skip;
+      adv(pc); await(pc); // cyclic barrier steps
+      skip;
+      adv(pc); await(pc);
+    }
+    dereg(pc);
+    dereg(pb); # notify finish
+  }
+}
+adv(pb); await(pb); // join barrier step
+skip;
+`
+	parsed, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.String() != RunningExample().String() {
+		t.Fatalf("parsed Figure 3 differs from RunningExample:\n%s", parsed.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"skip",                  // missing semicolon
+		"loop { skip; ",         // unclosed block
+		"x = frobnicate();",     // unknown constructor
+		"adv();",                // missing argument
+		"reg(p);",               // missing second argument
+		"fork() { }",            // missing variable
+		"@",                     // bad character
+		"skip;; ",               // stray semicolon
+		"await = newTid();",     // keyword as variable
+		"t = newTid(); extra t", // trailing garbage
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// randomProgram generates a small well-formed PL program: a driver that
+// creates phasers and forked workers which advance/await/dereg in random
+// orders — deliberately including missing-participant bugs so that runs
+// land in all outcome classes.
+func randomProgram(r *rand.Rand) Seq {
+	nPhasers := 1 + r.Intn(3)
+	var prog Seq
+	phNames := make([]string, nPhasers)
+	for i := range phNames {
+		phNames[i] = string(rune('p' + i))
+		prog = append(prog, NewPhaser{phNames[i]})
+	}
+	nTasks := 1 + r.Intn(4)
+	for i := 0; i < nTasks; i++ {
+		tv := "t" + string(rune('0'+i))
+		prog = append(prog, NewTid{tv})
+		var body Seq
+		// Register with a random subset.
+		for _, p := range phNames {
+			if r.Intn(2) == 0 {
+				prog = append(prog, Reg{p, tv})
+				// The worker randomly synchronises 0-2 times, then
+				// randomly deregisters (or forgets to — the bug).
+				for k := r.Intn(3); k > 0; k-- {
+					body = append(body, Adv{p}, Await{p})
+				}
+				if r.Intn(2) == 0 {
+					body = append(body, Dereg{p})
+				}
+			}
+		}
+		body = append(body, Skip{})
+		prog = append(prog, Fork{Var: tv, Body: body})
+	}
+	// Driver randomly synchronises and deregisters too.
+	for _, p := range phNames {
+		switch r.Intn(3) {
+		case 0:
+			prog = append(prog, Adv{p}, Await{p})
+		case 1:
+			prog = append(prog, Dereg{p})
+		}
+	}
+	return prog
+}
+
+// Property (Theorems 4.10 + 4.15): at every quiescent state of a random
+// program, the oracle's deadlock verdict (Definitions 3.1/3.2) coincides
+// with cycle detection on the WFG, the SG and the GRG built from ϕ(S).
+func TestQuickSoundAndComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randomProgram(r)
+		res := Run(prog, RunConfig{Seed: seed, MaxUnfold: 16})
+		if res.Err != nil || res.Outcome == OutcomeExhausted {
+			return true // ill-formed or over budget: vacuous
+		}
+		snap := res.Final.Snapshot()
+		oracle := IsDeadlocked(res.Final)
+		wfg := deps.BuildWFG(snap).Graph.HasCycle()
+		sg := deps.BuildSG(snap).Graph.HasCycle()
+		grg := deps.BuildGRG(snap).Graph.HasCycle()
+		auto := deps.Build(deps.ModelAuto, snap).Graph.HasCycle()
+		return oracle == wfg && wfg == sg && sg == grg && grg == auto
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: soundness holds at EVERY intermediate state, not only at
+// quiescence — a cycle in ϕ(S)'s WFG implies the oracle agrees, and vice
+// versa, after each step of a random schedule.
+func TestQuickSoundAndCompleteMidRun(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randomProgram(r)
+		s := NewState(prog)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		unfolds := 0
+		loop := func() bool {
+			if unfolds > 12 {
+				return false
+			}
+			unfolds++
+			return rng.Intn(2) == 0
+		}
+		for step := 0; step < 400; step++ {
+			enabled := s.EnabledTasks()
+			if len(enabled) == 0 {
+				break
+			}
+			if err := s.Step(enabled[rng.Intn(len(enabled))], loop); err != nil {
+				return true // ill-formed: vacuous
+			}
+			snap := s.Snapshot()
+			if IsDeadlocked(s) != deps.BuildWFG(snap).Graph.HasCycle() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: once deadlocked, always deadlocked — deadlock is stable under
+// further steps of other (non-deadlocked) tasks.
+func TestQuickDeadlockStable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randomProgram(r)
+		s := NewState(prog)
+		rng := rand.New(rand.NewSource(seed + 99))
+		loop := func() bool { return rng.Intn(3) == 0 }
+		sawDeadlock := false
+		for step := 0; step < 400; step++ {
+			if IsDeadlocked(s) {
+				sawDeadlock = true
+			} else if sawDeadlock {
+				return false // deadlock evaporated
+			}
+			enabled := s.EnabledTasks()
+			if len(enabled) == 0 {
+				break
+			}
+			if err := s.Step(enabled[rng.Intn(len(enabled))], loop); err != nil {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	cases := map[Outcome]string{
+		OutcomeDone: "done", OutcomeDeadlock: "deadlock",
+		OutcomeStuck: "stuck", OutcomeExhausted: "exhausted",
+		Outcome(42): "outcome(42)",
+	}
+	for o, want := range cases {
+		if o.String() != want {
+			t.Fatalf("Outcome.String() = %q, want %q", o.String(), want)
+		}
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	// An always-unfolding loop must hit the step budget.
+	prog := Seq{Loop{Body: Seq{Skip{}}}}
+	res := Run(prog, RunConfig{Seed: 1, MaxSteps: 50, LoopProb: 1, MaxUnfold: 1 << 30})
+	if res.Outcome != OutcomeExhausted {
+		t.Fatalf("outcome = %v, want exhausted", res.Outcome)
+	}
+}

@@ -1,0 +1,269 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a fault-tolerant store client: if the connection drops (server
+// restart, network blip) the next command transparently redials. This is
+// the property §5.2 relies on for resisting data-store failures — sites
+// keep running and simply retry on the next verification round.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial creates a client for the server at addr. The connection is
+// established lazily on first use.
+func Dial(addr string) *Client {
+	return &Client{addr: addr, dialTimeout: 2 * time.Second}
+}
+
+// Close closes the current connection, if any.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (c *Client) ensureConnLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.w = bufio.NewWriter(conn)
+	return nil
+}
+
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// do sends one command and reads one reply, retrying once on a broken
+// connection.
+func (c *Client) do(args ...[]byte) (reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := c.ensureConnLocked(); err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.writeCommandLocked(args); err != nil {
+			c.dropLocked()
+			lastErr = err
+			continue
+		}
+		rep, err := c.readReplyLocked()
+		if err != nil {
+			// ErrNil and server errors are valid replies, not transport
+			// failures: do not retry those.
+			if errors.Is(err, ErrNil) || errors.Is(err, ErrServerError) {
+				return rep, err
+			}
+			c.dropLocked()
+			lastErr = err
+			continue
+		}
+		return rep, nil
+	}
+	return reply{}, fmt.Errorf("store: %s unreachable: %w", c.addr, lastErr)
+}
+
+func (c *Client) writeCommandLocked(args [][]byte) error {
+	if _, err := fmt.Fprintf(c.w, "*%d\r\n", len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := writeBulk(c.w, a); err != nil {
+			return err
+		}
+	}
+	return c.w.Flush()
+}
+
+type reply struct {
+	simple string
+	n      int
+	bulk   []byte
+	array  [][]byte
+}
+
+func (c *Client) readReplyLocked() (reply, error) {
+	line, err := readLine(c.r)
+	if err != nil {
+		return reply{}, err
+	}
+	if len(line) == 0 {
+		return reply{}, errors.New("store: empty reply")
+	}
+	switch line[0] {
+	case '+':
+		return reply{simple: string(line[1:])}, nil
+	case '-':
+		return reply{}, fmt.Errorf("%w: %s", ErrServerError, line[1:])
+	case ':':
+		var n int
+		if _, err := fmt.Sscanf(string(line[1:]), "%d", &n); err != nil {
+			return reply{}, err
+		}
+		return reply{n: n}, nil
+	case '$':
+		// Re-parse as a bulk string: push the line back logically.
+		var n int
+		if _, err := fmt.Sscanf(string(line[1:]), "%d", &n); err != nil {
+			return reply{}, err
+		}
+		if n == -1 {
+			return reply{}, ErrNil
+		}
+		if n < 0 || n > maxBulk {
+			return reply{}, fmt.Errorf("store: bad bulk length %d", n)
+		}
+		buf := make([]byte, n+2)
+		if _, err := readFull(c.r, buf); err != nil {
+			return reply{}, err
+		}
+		return reply{bulk: buf[:n]}, nil
+	case '*':
+		var n int
+		if _, err := fmt.Sscanf(string(line[1:]), "%d", &n); err != nil {
+			return reply{}, err
+		}
+		if n < 0 || n > 1<<20 {
+			return reply{}, fmt.Errorf("store: bad array length %d", n)
+		}
+		arr := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			b, err := readBulk(c.r)
+			if err != nil {
+				return reply{}, err
+			}
+			arr = append(arr, b)
+		}
+		return reply{array: arr}, nil
+	default:
+		return reply{}, fmt.Errorf("store: bad reply %q", line)
+	}
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping() error {
+	rep, err := c.do([]byte("PING"))
+	if err != nil {
+		return err
+	}
+	if rep.simple != "PONG" {
+		return fmt.Errorf("store: unexpected ping reply %q", rep.simple)
+	}
+	return nil
+}
+
+// Set stores value under key.
+func (c *Client) Set(key string, value []byte) error {
+	_, err := c.do([]byte("SET"), []byte(key), value)
+	return err
+}
+
+// Get fetches key; ErrNil if absent.
+func (c *Client) Get(key string) ([]byte, error) {
+	rep, err := c.do([]byte("GET"), []byte(key))
+	if err != nil {
+		return nil, err
+	}
+	return rep.bulk, nil
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(keys ...string) (int, error) {
+	args := make([][]byte, 0, len(keys)+1)
+	args = append(args, []byte("DEL"))
+	for _, k := range keys {
+		args = append(args, []byte(k))
+	}
+	rep, err := c.do(args...)
+	return rep.n, err
+}
+
+// Keys lists all keys with the given prefix.
+func (c *Client) Keys(prefix string) ([]string, error) {
+	rep, err := c.do([]byte("KEYS"), []byte(prefix))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rep.array))
+	for i, b := range rep.array {
+		out[i] = string(b)
+	}
+	return out, nil
+}
+
+// HSet stores field=value in hash.
+func (c *Client) HSet(hash, field string, value []byte) error {
+	_, err := c.do([]byte("HSET"), []byte(hash), []byte(field), value)
+	return err
+}
+
+// HGet fetches hash[field]; ErrNil if absent.
+func (c *Client) HGet(hash, field string) ([]byte, error) {
+	rep, err := c.do([]byte("HGET"), []byte(hash), []byte(field))
+	if err != nil {
+		return nil, err
+	}
+	return rep.bulk, nil
+}
+
+// HGetAll returns every field of the hash.
+func (c *Client) HGetAll(hash string) (map[string][]byte, error) {
+	rep, err := c.do([]byte("HGETALL"), []byte(hash))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(rep.array)/2)
+	for i := 0; i+1 < len(rep.array); i += 2 {
+		out[string(rep.array[i])] = rep.array[i+1]
+	}
+	return out, nil
+}
+
+// HDel removes hash[field], reporting whether it existed.
+func (c *Client) HDel(hash, field string) (bool, error) {
+	rep, err := c.do([]byte("HDEL"), []byte(hash), []byte(field))
+	return rep.n > 0, err
+}

@@ -1,0 +1,385 @@
+// Package store implements the shared data store of the distributed
+// deadlock-detection architecture (§5.2). The paper uses Redis; this is a
+// stdlib-only stand-in with the same shape: an in-memory key-value server
+// speaking a RESP-like binary-safe protocol over TCP, and a fault-tolerant
+// client that transparently reconnects after server restarts.
+//
+// Supported commands: PING, SET, GET, DEL, KEYS (prefix match), HSET, HGET,
+// HGETALL, HDEL — the subset the one-phase detection algorithm needs (each
+// site SETs its own key; every site KEYS+GETs all sites).
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Server is the in-memory store server.
+type Server struct {
+	ln net.Listener
+
+	mu     sync.RWMutex
+	data   map[string][]byte
+	hashes map[string]map[string][]byte
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer starts a store server on addr (e.g. "127.0.0.1:0"). It serves
+// until Close is called.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:     ln,
+		data:   make(map[string][]byte),
+		hashes: make(map[string]map[string][]byte),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the address the server is listening on.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes every connection. The store contents
+// are discarded (a restarted server starts empty, like a non-persistent
+// Redis — the client and the detection algorithm tolerate this).
+func (s *Server) Close() {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.connMu.Lock()
+		if s.closed {
+			s.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		args, err := readArray(r)
+		if err != nil {
+			return
+		}
+		if err := s.dispatch(w, args); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(w *bufio.Writer, args [][]byte) error {
+	if len(args) == 0 {
+		return writeError(w, "empty command")
+	}
+	cmd := strings.ToUpper(string(args[0]))
+	switch cmd {
+	case "PING":
+		return writeSimple(w, "PONG")
+
+	case "SET":
+		if len(args) != 3 {
+			return writeError(w, "SET needs key and value")
+		}
+		s.mu.Lock()
+		s.data[string(args[1])] = clone(args[2])
+		s.mu.Unlock()
+		return writeSimple(w, "OK")
+
+	case "GET":
+		if len(args) != 2 {
+			return writeError(w, "GET needs key")
+		}
+		s.mu.RLock()
+		v, ok := s.data[string(args[1])]
+		s.mu.RUnlock()
+		if !ok {
+			return writeNil(w)
+		}
+		return writeBulk(w, v)
+
+	case "DEL":
+		if len(args) < 2 {
+			return writeError(w, "DEL needs at least one key")
+		}
+		n := 0
+		s.mu.Lock()
+		for _, k := range args[1:] {
+			key := string(k)
+			if _, ok := s.data[key]; ok {
+				delete(s.data, key)
+				n++
+			}
+			if _, ok := s.hashes[key]; ok {
+				delete(s.hashes, key)
+				n++
+			}
+		}
+		s.mu.Unlock()
+		return writeInt(w, n)
+
+	case "KEYS":
+		if len(args) != 2 {
+			return writeError(w, "KEYS needs a prefix")
+		}
+		prefix := string(args[1])
+		s.mu.RLock()
+		var keys []string
+		for k := range s.data {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
+		}
+		for k := range s.hashes {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
+		}
+		s.mu.RUnlock()
+		sort.Strings(keys)
+		vals := make([][]byte, len(keys))
+		for i, k := range keys {
+			vals[i] = []byte(k)
+		}
+		return writeArray(w, vals)
+
+	case "HSET":
+		if len(args) != 4 {
+			return writeError(w, "HSET needs hash, field, value")
+		}
+		s.mu.Lock()
+		h, ok := s.hashes[string(args[1])]
+		if !ok {
+			h = make(map[string][]byte)
+			s.hashes[string(args[1])] = h
+		}
+		h[string(args[2])] = clone(args[3])
+		s.mu.Unlock()
+		return writeSimple(w, "OK")
+
+	case "HGET":
+		if len(args) != 3 {
+			return writeError(w, "HGET needs hash and field")
+		}
+		s.mu.RLock()
+		v, ok := s.hashes[string(args[1])][string(args[2])]
+		s.mu.RUnlock()
+		if !ok {
+			return writeNil(w)
+		}
+		return writeBulk(w, v)
+
+	case "HGETALL":
+		if len(args) != 2 {
+			return writeError(w, "HGETALL needs hash")
+		}
+		s.mu.RLock()
+		h := s.hashes[string(args[1])]
+		fields := make([]string, 0, len(h))
+		for f := range h {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		out := make([][]byte, 0, 2*len(fields))
+		for _, f := range fields {
+			out = append(out, []byte(f), clone(h[f]))
+		}
+		s.mu.RUnlock()
+		return writeArray(w, out)
+
+	case "HDEL":
+		if len(args) != 3 {
+			return writeError(w, "HDEL needs hash and field")
+		}
+		n := 0
+		s.mu.Lock()
+		if h, ok := s.hashes[string(args[1])]; ok {
+			if _, ok := h[string(args[2])]; ok {
+				delete(h, string(args[2]))
+				n = 1
+			}
+		}
+		s.mu.Unlock()
+		return writeInt(w, n)
+
+	default:
+		return writeError(w, "unknown command "+cmd)
+	}
+}
+
+func clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// --- protocol ---------------------------------------------------------
+
+// ErrServerError wraps an -ERR response from the server.
+var ErrServerError = errors.New("store: server error")
+
+// ErrNil is returned by Get/HGet for a missing key.
+var ErrNil = errors.New("store: nil reply")
+
+func writeSimple(w *bufio.Writer, s string) error {
+	_, err := fmt.Fprintf(w, "+%s\r\n", s)
+	return err
+}
+
+func writeError(w *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(w, "-ERR %s\r\n", msg)
+	return err
+}
+
+func writeInt(w *bufio.Writer, n int) error {
+	_, err := fmt.Fprintf(w, ":%d\r\n", n)
+	return err
+}
+
+func writeNil(w *bufio.Writer) error {
+	_, err := w.WriteString("$-1\r\n")
+	return err
+}
+
+func writeBulk(w *bufio.Writer, b []byte) error {
+	if _, err := fmt.Fprintf(w, "$%d\r\n", len(b)); err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+func writeArray(w *bufio.Writer, items [][]byte) error {
+	if _, err := fmt.Fprintf(w, "*%d\r\n", len(items)); err != nil {
+		return err
+	}
+	for _, it := range items {
+		if err := writeBulk(w, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("store: malformed line %q", line)
+	}
+	return line[:len(line)-2], nil
+}
+
+// maxBulk bounds a single value (16 MiB) to keep a corrupted length prefix
+// from allocating unbounded memory.
+const maxBulk = 16 << 20
+
+func readBulk(r *bufio.Reader) ([]byte, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '$' {
+		return nil, fmt.Errorf("store: expected bulk string, got %q", line)
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil {
+		return nil, err
+	}
+	if n == -1 {
+		return nil, ErrNil
+	}
+	if n < 0 || n > maxBulk {
+		return nil, fmt.Errorf("store: bad bulk length %d", n)
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if !bytes.HasSuffix(buf, []byte("\r\n")) {
+		return nil, errors.New("store: bulk string missing terminator")
+	}
+	return buf[:n], nil
+}
+
+func readArray(r *bufio.Reader) ([][]byte, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '*' {
+		return nil, fmt.Errorf("store: expected array, got %q", line)
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("store: bad array length %d", n)
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		b, err := readBulk(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,242 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Dial(srv.Addr())
+	t.Cleanup(func() { c.Close(); srv.Close() })
+	return srv, c
+}
+
+func TestPing(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGetDel(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	n, err := c.Del("k", "absent")
+	if err != nil || n != 1 {
+		t.Fatalf("Del = %d, %v", n, err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrNil) {
+		t.Fatalf("Get deleted key: %v", err)
+	}
+}
+
+func TestBinarySafeValues(t *testing.T) {
+	_, c := newPair(t)
+	payload := []byte{0, 1, 2, '\r', '\n', 0xff, '$', '*', 0}
+	if err := c.Set("bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("bin")
+	if err != nil || !bytes.Equal(v, payload) {
+		t.Fatalf("binary round trip failed: %v %v", v, err)
+	}
+}
+
+func TestEmptyValue(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.Set("e", nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("e")
+	if err != nil || len(v) != 0 {
+		t.Fatalf("empty value round trip: %q %v", v, err)
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	_, c := newPair(t)
+	for _, k := range []string{"armus:site:1", "armus:site:2", "other"} {
+		if err := c.Set(k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := c.Keys("armus:site:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "armus:site:1" || keys[1] != "armus:site:2" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	all, err := c.Keys("")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("Keys(\"\") = %v, %v", all, err)
+	}
+}
+
+func TestHashOps(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.HSet("h", "f1", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.HSet("h", "f2", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.HGet("h", "f1")
+	if err != nil || string(v) != "a" {
+		t.Fatalf("HGet = %q, %v", v, err)
+	}
+	if _, err := c.HGet("h", "absent"); !errors.Is(err, ErrNil) {
+		t.Fatalf("HGet absent: %v", err)
+	}
+	m, err := c.HGetAll("h")
+	if err != nil || len(m) != 2 || string(m["f2"]) != "b" {
+		t.Fatalf("HGetAll = %v, %v", m, err)
+	}
+	ok, err := c.HDel("h", "f1")
+	if err != nil || !ok {
+		t.Fatalf("HDel = %v, %v", ok, err)
+	}
+	ok, err = c.HDel("h", "f1")
+	if err != nil || ok {
+		t.Fatalf("HDel again = %v, %v", ok, err)
+	}
+	// DEL removes whole hashes too.
+	if n, err := c.Del("h"); err != nil || n != 1 {
+		t.Fatalf("Del hash = %d, %v", n, err)
+	}
+}
+
+func TestServerErrorReply(t *testing.T) {
+	_, c := newPair(t)
+	_, err := c.do([]byte("BOGUS"))
+	if !errors.Is(err, ErrServerError) {
+		t.Fatalf("bogus command: %v", err)
+	}
+	// The connection must survive a server error.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after error: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := newPair(t)
+	const N = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := Dial(srv.Addr())
+			defer c.Close()
+			for j := 0; j < 50; j++ {
+				k := fmt.Sprintf("k%d", i)
+				if err := c.Set(k, []byte(fmt.Sprintf("%d", j))); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Get(k); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestClientReconnects is the fault-tolerance property of §5.2: the client
+// survives a server restart (the restarted store is empty, which the
+// detection algorithm tolerates — the next publish repopulates it).
+func TestClientReconnects(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	c := Dial(addr)
+	defer c.Close()
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// Server down: commands fail but do not wedge the client.
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping succeeded against a dead server")
+	}
+	// Restart on the same address.
+	srv2, err := NewServer(addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("client did not reconnect: %v", err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrNil) {
+		t.Fatalf("restarted store should be empty: %v", err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close()
+}
+
+func TestLargeValue(t *testing.T) {
+	_, c := newPair(t)
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := c.Set("big", big); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("big")
+	if err != nil || !bytes.Equal(v, big) {
+		t.Fatalf("large value corrupted (len=%d, err=%v)", len(v), err)
+	}
+}
+
+func BenchmarkSetGet(b *testing.B) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c := Dial(srv.Addr())
+	defer c.Close()
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Set("bench", payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Get("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

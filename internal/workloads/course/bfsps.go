@@ -1,0 +1,209 @@
+package course
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"armus/internal/core"
+)
+
+// RunBFS is the parallel breadth-first search of §6.3: a randomly generated
+// graph, a task per node being visited and a barrier per depth level — the
+// tasks ≫ resources shape where the WFG explodes (579 edges in the paper)
+// and the SG stays tiny (7).
+func RunBFS(v *core.Verifier, cfg Config) (Result, error) {
+	n := cfg.Size
+	if n < 8 {
+		n = 8
+	}
+	// Random sparse digraph with guaranteed connectivity from node 0 via a
+	// scrambled spanning tree, plus extra random edges.
+	rng := rand.New(rand.NewSource(42))
+	adj := make([][]int, n)
+	order := rng.Perm(n - 1)
+	for i, o := range order {
+		child := o + 1
+		var parent int
+		if i == 0 {
+			parent = 0
+		} else {
+			parent = order[rng.Intn(i)] + 1
+		}
+		adj[parent] = append(adj[parent], child)
+	}
+	for e := 0; e < 3*n; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		adj[a] = append(adj[a], b)
+	}
+
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+
+	main := v.NewTask("bfs-main")
+	defer main.Terminate()
+
+	frontier := []int{0}
+	depth := int64(0)
+	for len(frontier) > 0 {
+		depth++
+		// One barrier per depth level; main participates so it can
+		// collect the next frontier after the level completes.
+		bar := v.NewPhaser(main)
+		var nextMu sync.Mutex
+		var next []int
+		errs := make(chan error, len(frontier))
+		tasks := make([]*core.Task, len(frontier))
+		for i := range frontier {
+			tasks[i] = v.NewTask(fmt.Sprintf("bfs-n%d", frontier[i]))
+			if err := bar.Register(main, tasks[i]); err != nil {
+				return Result{}, err
+			}
+		}
+		for i, node := range frontier {
+			go func(me *core.Task, node int) {
+				defer me.Terminate()
+				var local []int
+				for _, m := range adj[node] {
+					if atomic.CompareAndSwapInt64(&dist[m], -1, depth) {
+						local = append(local, m)
+					}
+				}
+				nextMu.Lock()
+				next = append(next, local...)
+				nextMu.Unlock()
+				errs <- bar.Advance(me)
+			}(tasks[i], node)
+		}
+		// Main arrives first (the node tasks are all heading to the same
+		// barrier), then harvests the per-task results.
+		if err := bar.Advance(main); err != nil {
+			return Result{}, err
+		}
+		for range frontier {
+			if err := <-errs; err != nil {
+				return Result{}, err
+			}
+		}
+		if err := bar.Deregister(main); err != nil {
+			return Result{}, err
+		}
+		frontier = next
+	}
+
+	// Verify against a sequential BFS.
+	want := make([]int64, n)
+	for i := range want {
+		want[i] = -1
+	}
+	want[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[u] {
+			if want[m] == -1 {
+				want[m] = want[u] + 1
+				queue = append(queue, m)
+			}
+		}
+	}
+	sum := 0.0
+	ok := true
+	for i := range dist {
+		if atomic.LoadInt64(&dist[i]) != want[i] {
+			ok = false
+		}
+		sum += float64(dist[i])
+	}
+	res := Result{Checksum: sum, Verified: ok}
+	if !ok {
+		return res, ErrValidation
+	}
+	return res, nil
+}
+
+// RunPS is the prefix-sum (cumulative sum) of §6.3: one task per array
+// element, all proceeding stepwise on a single global barrier (Hillis-
+// Steele scan) — the extreme tasks ≫ resources case (781 WFG edges vs 6
+// in the paper's Table 3).
+func RunPS(v *core.Verifier, cfg Config) (Result, error) {
+	n := cfg.Size
+	if n < 2 {
+		n = 2
+	}
+	input := make([]int64, n)
+	for i := range input {
+		input[i] = int64(i%9) + 1
+	}
+	cur := make([]int64, n)
+	nxt := make([]int64, n)
+	copy(cur, input)
+
+	main := v.NewTask("ps-main")
+	defer main.Terminate()
+	bar := v.NewPhaser(main)
+	tasks := make([]*core.Task, n)
+	for i := range tasks {
+		tasks[i] = v.NewTask(fmt.Sprintf("ps-%d", i))
+		if err := bar.Register(main, tasks[i]); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := bar.Deregister(main); err != nil {
+		return Result{}, err
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int, me *core.Task) {
+			defer wg.Done()
+			defer me.Terminate()
+			for stride := 1; stride < n; stride *= 2 {
+				val := cur[i]
+				if i >= stride {
+					val += cur[i-stride]
+				}
+				nxt[i] = val
+				if err := bar.Advance(me); err != nil {
+					errs <- err
+					return
+				}
+				cur[i] = nxt[i]
+				if err := bar.Advance(me); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(i, tasks[i])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	// Verify against the sequential scan.
+	sum := 0.0
+	ok := true
+	var acc int64
+	for i := 0; i < n; i++ {
+		acc += input[i]
+		if cur[i] != acc {
+			ok = false
+		}
+		sum += float64(cur[i])
+	}
+	res := Result{Checksum: sum, Verified: ok}
+	if !ok {
+		return res, ErrValidation
+	}
+	return res, nil
+}

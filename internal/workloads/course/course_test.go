@@ -1,0 +1,112 @@
+package course
+
+import (
+	"testing"
+	"time"
+
+	"armus/internal/core"
+	"armus/internal/deps"
+)
+
+// runAll exercises every program under the given mode and model.
+func runAll(t *testing.T, mode core.Mode, model deps.Model, size int) {
+	t.Helper()
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			v := core.New(core.WithMode(mode), core.WithModel(model),
+				core.WithPeriod(5*time.Millisecond))
+			defer v.Close()
+			res, err := p.Run(v, Config{Size: size})
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			if !res.Verified {
+				t.Fatalf("%s: unverified (checksum %g)", p.Name, res.Checksum)
+			}
+			if mode != core.ModeOff && v.Stats().Deadlocks != 0 {
+				t.Fatalf("%s: false deadlock", p.Name)
+			}
+		})
+	}
+}
+
+func TestProgramsUnchecked(t *testing.T) { runAll(t, core.ModeOff, deps.ModelAuto, 24) }
+
+func TestProgramsDetect(t *testing.T) { runAll(t, core.ModeDetect, deps.ModelAuto, 24) }
+
+func TestProgramsAvoid(t *testing.T) { runAll(t, core.ModeAvoid, deps.ModelAuto, 24) }
+
+func TestProgramsAvoidFixedWFG(t *testing.T) { runAll(t, core.ModeAvoid, deps.ModelWFG, 16) }
+
+func TestProgramsAvoidFixedSG(t *testing.T) { runAll(t, core.ModeAvoid, deps.ModelSG, 16) }
+
+func TestFIValuesExact(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeAvoid))
+	defer v.Close()
+	res, err := RunFI(v, Config{Size: 30})
+	if err != nil || !res.Verified {
+		t.Fatalf("FI: %v", err)
+	}
+}
+
+func TestFRKnownValue(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeAvoid))
+	defer v.Close()
+	res, err := RunFR(v, Config{Size: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != 55 { // fib(10)
+		t.Fatalf("FR checksum = %g, want 55", res.Checksum)
+	}
+}
+
+func TestSEPrimeCount(t *testing.T) {
+	v := core.New(core.WithMode(core.ModeDetect), core.WithPeriod(5*time.Millisecond))
+	defer v.Close()
+	res, err := RunSE(v, Config{Size: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != 25 { // π(100) = 25
+		t.Fatalf("SE found %g primes, want 25", res.Checksum)
+	}
+}
+
+func TestBFSAndPSScaling(t *testing.T) {
+	for _, size := range []int{8, 40, 90} {
+		v := core.New(core.WithMode(core.ModeDetect), core.WithPeriod(2*time.Millisecond))
+		if res, err := RunBFS(v, Config{Size: size}); err != nil || !res.Verified {
+			t.Fatalf("BFS size=%d: %v", size, err)
+		}
+		if res, err := RunPS(v, Config{Size: size}); err != nil || !res.Verified {
+			t.Fatalf("PS size=%d: %v", size, err)
+		}
+		v.Close()
+	}
+}
+
+// TestPSShapeFavoursSG: PS is the paper's flagship case for adaptive
+// selection (Table 3: 781 WFG edges vs 6 SG edges). Check that the fixed
+// WFG builds dramatically more edges than the fixed SG, and that adaptive
+// mode never picks the WFG.
+func TestPSShapeFavoursSG(t *testing.T) {
+	edges := map[deps.Model]float64{}
+	for _, model := range []deps.Model{deps.ModelWFG, deps.ModelSG, deps.ModelAuto} {
+		v := core.New(core.WithMode(core.ModeAvoid), core.WithModel(model))
+		if _, err := RunPS(v, Config{Size: 64}); err != nil {
+			t.Fatal(err)
+		}
+		s := v.Stats()
+		edges[model] = s.AvgEdges()
+		if model == deps.ModelAuto && s.WFGBuilds > 0 {
+			t.Fatalf("adaptive fell back to WFG on PS: %+v", s)
+		}
+		v.Close()
+	}
+	if edges[deps.ModelWFG] < 8*edges[deps.ModelSG] {
+		t.Fatalf("PS edge counts do not show the paper's shape: wfg=%.1f sg=%.1f",
+			edges[deps.ModelWFG], edges[deps.ModelSG])
+	}
+}

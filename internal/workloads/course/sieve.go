@@ -1,0 +1,150 @@
+package course
+
+import (
+	"fmt"
+	"sync"
+
+	"armus/internal/clocked"
+	"armus/internal/core"
+)
+
+// RunSE is the Sieve of Eratosthenes as a pipeline of filter tasks: one
+// task per prime found, one clocked variable per task (tasks ≈ resources,
+// the balanced case of Table 3). Candidates flow down the pipeline one per
+// clock phase; a new filter task and clocked variable are created whenever
+// a value survives to the end of the pipeline.
+func RunSE(v *core.Verifier, cfg Config) (Result, error) {
+	limit := cfg.Size
+	if limit < 4 {
+		limit = 4
+	}
+	main := v.NewTask("se-main")
+	defer main.Terminate()
+
+	var (
+		mu     sync.Mutex
+		primes []int
+		errs   []error
+	)
+	record := func(p int) {
+		mu.Lock()
+		primes = append(primes, p)
+		mu.Unlock()
+	}
+	fail := func(err error) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+
+	// newFilter creates a filter stage reading from in (whose clock the
+	// new task must already be registered with by its creator).
+	// The first value a filter receives is its prime; subsequent values
+	// are forwarded if not divisible. A zero value is end-of-stream.
+	var newFilter func(creator *core.Task, in *clocked.Var[int]) error
+	newFilter = func(creator *core.Task, in *clocked.Var[int]) error {
+		me := v.NewTask("se-filter")
+		if err := in.Register(creator, me); err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer me.Terminate()
+			prime := 0
+			var out *clocked.Var[int]
+			for {
+				if err := in.Advance(me); err != nil {
+					fail(err)
+					return
+				}
+				val := in.Get()
+				switch {
+				case val == 0: // end of stream: propagate and quit
+					if out != nil {
+						out.Set(0)
+						if err := out.Advance(me); err != nil {
+							fail(err)
+							return
+						}
+					}
+					return
+				case prime == 0:
+					prime = val
+					record(prime)
+				case val%prime != 0:
+					if out == nil {
+						out = clocked.New(v, me, 0)
+						if err := newFilter(me, out); err != nil {
+							fail(err)
+							return
+						}
+					}
+					out.Set(val)
+					if err := out.Advance(me); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}()
+		return nil
+	}
+
+	source := clocked.New(v, main, 0)
+	if err := newFilter(main, source); err != nil {
+		return Result{}, err
+	}
+	for n := 2; n <= limit; n++ {
+		source.Set(n)
+		if err := source.Advance(main); err != nil {
+			return Result{}, err
+		}
+	}
+	source.Set(0)
+	if err := source.Advance(main); err != nil {
+		return Result{}, err
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) > 0 {
+		return Result{}, errs[0]
+	}
+	// Verify against a sequential sieve.
+	want := sequentialSieve(limit)
+	ok := len(primes) == len(want)
+	if ok {
+		seen := make(map[int]bool, len(primes))
+		for _, p := range primes {
+			seen[p] = true
+		}
+		for _, p := range want {
+			if !seen[p] {
+				ok = false
+			}
+		}
+	}
+	res := Result{Checksum: float64(len(primes)), Verified: ok}
+	if !ok {
+		return res, fmt.Errorf("%w: got %d primes, want %d", ErrValidation, len(primes), len(want))
+	}
+	return res, nil
+}
+
+func sequentialSieve(limit int) []int {
+	composite := make([]bool, limit+1)
+	var primes []int
+	for p := 2; p <= limit; p++ {
+		if composite[p] {
+			continue
+		}
+		primes = append(primes, p)
+		for q := p * p; q <= limit; q += p {
+			composite[q] = true
+		}
+	}
+	return primes
+}

@@ -1,0 +1,443 @@
+// Package hpcc implements the distributed benchmarks of §6.2 (Figure 7):
+// FT and STREAM from the HPC Challenge suite, SSCA2 from the HPCS graph
+// analysis benchmark, and JACOBI and KMEANS from the X10 distribution.
+//
+// Following the paper's deployment model ("every site operates a distinct
+// instance of clock c"), each benchmark partitions its work across sites;
+// every site runs an SPMD team on its own verifier with its own barriers
+// while the dist layer publishes blocked statuses to the shared store and
+// checks the merged global view. Deadlock avoidance is unavailable in the
+// distributed setting, exactly as in the paper.
+package hpcc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"armus/internal/core"
+	"armus/internal/dist"
+	"armus/internal/workloads/npb"
+)
+
+// Config parameterises a distributed run.
+type Config struct {
+	// TasksPerSite is the SPMD team size at each site.
+	TasksPerSite int
+	// Class scales the per-site problem (1 = smoke, 2 = bench default).
+	Class int
+}
+
+// ErrValidation is returned when a benchmark's self-check fails.
+var ErrValidation = errors.New("hpcc: verification failed")
+
+// Benchmark names a runnable distributed benchmark.
+type Benchmark struct {
+	Name string
+	Run  func(sites []*dist.Site, cfg Config) error
+}
+
+// Benchmarks lists the Figure 7 benchmarks in the paper's order.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{"FT", RunFT},
+		{"KMEANS", RunKMeans},
+		{"JACOBI", RunJacobi},
+		{"SSCA2", RunSSCA2},
+		{"STREAM", RunStream},
+	}
+}
+
+// onAllSites runs fn concurrently on every site and returns the first
+// error — the "finish for (p in CLUSTER) at (p) async" driver of §2.1.
+func onAllSites(sites []*dist.Site, fn func(s *dist.Site) error) error {
+	errs := make(chan error, len(sites))
+	for _, s := range sites {
+		go func(s *dist.Site) { errs <- fn(s) }(s)
+	}
+	var first error
+	for range sites {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// team is a per-site SPMD harness (mirrors the npb one, against the
+// site's verifier).
+func team(v *core.Verifier, n int, body func(id int, t *core.Task, bar *core.Phaser) error) error {
+	main := v.NewTask("hpcc-main")
+	defer main.Terminate()
+	bar := v.NewPhaser(main)
+	tasks := make([]*core.Task, n)
+	for i := range tasks {
+		tasks[i] = v.NewTask(fmt.Sprintf("hpcc-w%d", i))
+		if err := bar.Register(main, tasks[i]); err != nil {
+			return err
+		}
+	}
+	if err := bar.Deregister(main); err != nil {
+		return err
+	}
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(id int, t *core.Task) {
+			defer t.Terminate()
+			errs <- body(id, t, bar)
+		}(i, tasks[i])
+	}
+	var first error
+	for range tasks {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func part(n, id, tasks int) (int, int) {
+	return id * n / tasks, (id + 1) * n / tasks
+}
+
+// RunFT runs the npb FT kernel at every site (the HPCC FT is the same
+// transform at cluster scale).
+func RunFT(sites []*dist.Site, cfg Config) error {
+	return onAllSites(sites, func(s *dist.Site) error {
+		res, err := npb.RunFT(s.Verifier(), npb.Config{Tasks: cfg.TasksPerSite, Class: cfg.Class})
+		if err != nil {
+			return err
+		}
+		if !res.Verified {
+			return ErrValidation
+		}
+		return nil
+	})
+}
+
+// RunStream is the HPCC STREAM triad: a[i] = b[i] + alpha*c[i] over a
+// large vector, repeated with a barrier per repetition; each site streams
+// its own partition.
+func RunStream(sites []*dist.Site, cfg Config) error {
+	n := 1 << (16 + cfg.Class)
+	reps := 6
+	const alpha = 3.0
+	return onAllSites(sites, func(s *dist.Site) error {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		for i := range b {
+			b[i] = float64(i % 13)
+			c[i] = float64(i % 7)
+		}
+		err := team(s.Verifier(), cfg.TasksPerSite, func(id int, t *core.Task, bar *core.Phaser) error {
+			lo, hi := part(n, id, cfg.TasksPerSite)
+			for r := 0; r < reps; r++ {
+				for i := lo; i < hi; i++ {
+					a[i] = b[i] + alpha*c[i]
+				}
+				if err := bar.Advance(t); err != nil {
+					return err
+				}
+				// Rotate roles like the STREAM kernel sequence.
+				for i := lo; i < hi; i++ {
+					b[i] = a[i] * 0.5
+				}
+				if err := bar.Advance(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Closed form: b_r = b0/2^r + (alpha*c/2)(1 + 1/2 + ... ) and the
+		// final a = b_{reps-1} + alpha*c. Recompute serially on samples.
+		for i := 0; i < n; i += n / 64 {
+			bv, cv := float64(i%13), float64(i%7)
+			for r := 0; r < reps; r++ {
+				av := bv + alpha*cv
+				if r == reps-1 {
+					if math.Abs(av-a[i]) > 1e-9 {
+						return fmt.Errorf("%w: stream[%d] = %g, want %g", ErrValidation, i, a[i], av)
+					}
+				}
+				bv = av * 0.5
+			}
+		}
+		return nil
+	})
+}
+
+// RunJacobi is the X10 JACOBI benchmark: 2-D Jacobi relaxation with a
+// barrier per sweep; validation checks the residual decreased.
+func RunJacobi(sites []*dist.Site, cfg Config) error {
+	n := 40 * cfg.Class
+	iters := 40
+	return onAllSites(sites, func(s *dist.Site) error {
+		cur := makeGrid(n+2, func(i, j int) float64 {
+			if i == 0 || j == 0 || i == n+1 || j == n+1 {
+				return 1 // hot boundary
+			}
+			return 0
+		})
+		nxt := makeGrid(n+2, func(i, j int) float64 { return cur[i][j] })
+		residual := func() float64 {
+			r := 0.0
+			for i := 1; i <= n; i++ {
+				for j := 1; j <= n; j++ {
+					d := cur[i][j] - (cur[i-1][j]+cur[i+1][j]+cur[i][j-1]+cur[i][j+1])/4
+					r += d * d
+				}
+			}
+			return math.Sqrt(r)
+		}
+		initial := residual()
+		err := team(s.Verifier(), cfg.TasksPerSite, func(id int, t *core.Task, bar *core.Phaser) error {
+			lo, hi := part(n, id, cfg.TasksPerSite)
+			lo++
+			hi++
+			for it := 0; it < iters; it++ {
+				for i := lo; i < hi; i++ {
+					for j := 1; j <= n; j++ {
+						nxt[i][j] = (cur[i-1][j] + cur[i+1][j] + cur[i][j-1] + cur[i][j+1]) / 4
+					}
+				}
+				if err := bar.Advance(t); err != nil {
+					return err
+				}
+				for i := lo; i < hi; i++ {
+					copy(cur[i][1:n+1], nxt[i][1:n+1])
+				}
+				if err := bar.Advance(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if final := residual(); !(final < initial) {
+			return ErrValidation
+		}
+		return nil
+	})
+}
+
+func makeGrid(n int, f func(i, j int) float64) [][]float64 {
+	g := make([][]float64, n)
+	for i := range g {
+		g[i] = make([]float64, n)
+		for j := range g[i] {
+			g[i][j] = f(i, j)
+		}
+	}
+	return g
+}
+
+// RunKMeans is the X10 KMEANS benchmark: Lloyd iterations over each
+// site's partition of points, with a barrier-based reduction of partial
+// centroid sums per iteration. Validation: inertia never increases.
+func RunKMeans(sites []*dist.Site, cfg Config) error {
+	points := 2500 * cfg.Class
+	k := 8
+	dims := 4
+	iters := 5
+	return onAllSites(sites, func(s *dist.Site) error {
+		rng := rand.New(rand.NewSource(int64(s.ID())))
+		data := make([][]float64, points)
+		for i := range data {
+			data[i] = make([]float64, dims)
+			c := i % k
+			for d := range data[i] {
+				data[i][d] = float64(c*10) + rng.Float64()
+			}
+		}
+		centroids := make([][]float64, k)
+		for c := range centroids {
+			centroids[c] = append([]float64(nil), data[c*points/k]...)
+		}
+		T := cfg.TasksPerSite
+		partSum := make([][][]float64, T)
+		partCnt := make([][]int, T)
+		for w := 0; w < T; w++ {
+			partSum[w] = make([][]float64, k)
+			for c := range partSum[w] {
+				partSum[w][c] = make([]float64, dims)
+			}
+			partCnt[w] = make([]int, k)
+		}
+		inertias := make([]float64, T)
+		prevInertia := math.Inf(1)
+		for it := 0; it < iters; it++ {
+			err := team(s.Verifier(), T, func(id int, t *core.Task, bar *core.Phaser) error {
+				lo, hi := part(points, id, T)
+				for c := 0; c < k; c++ {
+					for d := 0; d < dims; d++ {
+						partSum[id][c][d] = 0
+					}
+					partCnt[id][c] = 0
+				}
+				inertia := 0.0
+				for i := lo; i < hi; i++ {
+					best, bestD := 0, math.Inf(1)
+					for c := 0; c < k; c++ {
+						dd := 0.0
+						for d := 0; d < dims; d++ {
+							diff := data[i][d] - centroids[c][d]
+							dd += diff * diff
+						}
+						if dd < bestD {
+							best, bestD = c, dd
+						}
+					}
+					inertia += bestD
+					partCnt[id][best]++
+					for d := 0; d < dims; d++ {
+						partSum[id][best][d] += data[i][d]
+					}
+				}
+				inertias[id] = inertia
+				if err := bar.Advance(t); err != nil {
+					return err
+				}
+				// Worker 0 recomputes the centroids from the partials.
+				if id == 0 {
+					for c := 0; c < k; c++ {
+						cnt := 0
+						sum := make([]float64, dims)
+						for w := 0; w < T; w++ {
+							cnt += partCnt[w][c]
+							for d := 0; d < dims; d++ {
+								sum[d] += partSum[w][c][d]
+							}
+						}
+						if cnt > 0 {
+							for d := 0; d < dims; d++ {
+								centroids[c][d] = sum[d] / float64(cnt)
+							}
+						}
+					}
+				}
+				return bar.Advance(t)
+			})
+			if err != nil {
+				return err
+			}
+			total := 0.0
+			for _, x := range inertias {
+				total += x
+			}
+			if total > prevInertia*(1+1e-9) {
+				return fmt.Errorf("%w: inertia rose %g -> %g", ErrValidation, prevInertia, total)
+			}
+			prevInertia = total
+		}
+		return nil
+	})
+}
+
+// RunSSCA2 is the HPCS graph-analysis kernel: per site, generate a
+// scale-free-ish graph and run level-synchronised parallel BFS from sample
+// roots (the frontier is partitioned across the team, one barrier per
+// level). Validation: visited counts match a sequential BFS.
+func RunSSCA2(sites []*dist.Site, cfg Config) error {
+	scale := 9 + cfg.Class
+	n := 1 << scale
+	return onAllSites(sites, func(s *dist.Site) error {
+		rng := rand.New(rand.NewSource(int64(100 + s.ID())))
+		adj := make([][]int32, n)
+		// R-MAT-flavoured edges: power-law-ish via squared skew.
+		for e := 0; e < 8*n; e++ {
+			u := int(float64(n) * rng.Float64() * rng.Float64())
+			v := rng.Intn(n)
+			adj[u] = append(adj[u], int32(v))
+			adj[v] = append(adj[v], int32(u))
+		}
+		root := 0
+		seqCount := bfsCount(adj, root)
+		T := cfg.TasksPerSite
+		level := make([]int32, n)
+		for i := range level {
+			level[i] = -1
+		}
+		level[root] = 0
+		frontier := []int32{int32(root)}
+		candParts := make([][]int32, T)
+		nextParts := make([][]int32, T)
+		var depth int32
+		for len(frontier) > 0 {
+			depth++
+			err := team(s.Verifier(), T, func(id int, t *core.Task, bar *core.Phaser) error {
+				// Phase 1: gather candidate neighbours of the owned
+				// frontier slice (level is read-only here).
+				lo, hi := part(len(frontier), id, T)
+				var cand []int32
+				for _, u := range frontier[lo:hi] {
+					for _, m := range adj[u] {
+						if level[m] == -1 {
+							cand = append(cand, m)
+						}
+					}
+				}
+				candParts[id] = cand
+				if err := bar.Advance(t); err != nil {
+					return err
+				}
+				// Phase 2: claim by ownership — worker id writes only the
+				// nodes it owns (m % T == id), so writes never collide and
+				// duplicates across candidate lists resolve to one claim.
+				var local []int32
+				for w := 0; w < T; w++ {
+					for _, m := range candParts[w] {
+						if int(m)%T == id && level[m] == -1 {
+							level[m] = depth
+							local = append(local, m)
+						}
+					}
+				}
+				nextParts[id] = local
+				return bar.Advance(t)
+			})
+			if err != nil {
+				return err
+			}
+			frontier = frontier[:0]
+			for id := 0; id < T; id++ {
+				frontier = append(frontier, nextParts[id]...)
+			}
+		}
+		got := 0
+		for _, l := range level {
+			if l >= 0 {
+				got++
+			}
+		}
+		if got != seqCount {
+			return fmt.Errorf("%w: visited %d, want %d", ErrValidation, got, seqCount)
+		}
+		return nil
+	})
+}
+
+func bfsCount(adj [][]int32, root int) int {
+	seen := make([]bool, len(adj))
+	seen[root] = true
+	queue := []int32{int32(root)}
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[u] {
+			if !seen[m] {
+				seen[m] = true
+				count++
+				queue = append(queue, m)
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,94 @@
+package hpcc
+
+import (
+	"testing"
+	"time"
+
+	"armus/internal/dist"
+	"armus/internal/store"
+)
+
+// cluster spins up a store and nSites sites, cleaned up with the test.
+func cluster(t testing.TB, nSites int, period time.Duration) []*dist.Site {
+	t.Helper()
+	srv, err := store.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	sites := make([]*dist.Site, nSites)
+	for i := range sites {
+		sites[i] = dist.NewSite(i+1, srv.Addr(), dist.WithPeriod(period))
+		sites[i].Start()
+		t.Cleanup(sites[i].Close)
+	}
+	return sites
+}
+
+// TestAllBenchmarksTwoSites runs every distributed benchmark on a 2-site
+// cluster with verification active and checks that no deadlock is reported
+// and the store is actually exercised.
+func TestAllBenchmarksTwoSites(t *testing.T) {
+	for _, b := range Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			sites := cluster(t, 2, 3*time.Millisecond)
+			if err := b.Run(sites, Config{TasksPerSite: 4, Class: 1}); err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			for _, s := range sites {
+				st := s.Stats()
+				if st.Deadlocks != 0 {
+					t.Fatalf("%s: false distributed deadlock at site %d", b.Name, s.ID())
+				}
+			}
+		})
+	}
+}
+
+// TestSitesPublishDuringRun: the publishers must push nonempty state while
+// a benchmark is running (tasks block at barriers frequently).
+func TestSitesPublishDuringRun(t *testing.T) {
+	sites := cluster(t, 2, 2*time.Millisecond)
+	if err := RunJacobi(sites, Config{TasksPerSite: 4, Class: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// The loops tick on their own schedule; wait for them.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, s := range sites {
+		for {
+			st := s.Stats()
+			if st.Publishes > 0 && st.Checks > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("site %d idle: %+v", s.ID(), st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestSingleSiteSingleTask is the degenerate configuration.
+func TestSingleSiteSingleTask(t *testing.T) {
+	sites := cluster(t, 1, 5*time.Millisecond)
+	for _, b := range Benchmarks() {
+		if err := b.Run(sites, Config{TasksPerSite: 1, Class: 1}); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+// TestFourSites mirrors the paper's multi-place deployment at small scale.
+func TestFourSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sites := cluster(t, 4, 5*time.Millisecond)
+	if err := RunStream(sites, Config{TasksPerSite: 2, Class: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunSSCA2(sites, Config{TasksPerSite: 2, Class: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

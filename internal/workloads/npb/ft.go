@@ -1,0 +1,127 @@
+package npb
+
+import (
+	"math"
+	"math/cmplx"
+
+	"armus/internal/core"
+)
+
+// RunFT is the Fourier-transform kernel: a 2-D FFT computed as row FFTs,
+// a parallel transpose, and row FFTs again, with a cyclic barrier between
+// the phases — the NPB FT pattern. Validation: forward followed by inverse
+// transform must reproduce the input (to rounding).
+func RunFT(v *core.Verifier, cfg Config) (Result, error) {
+	logN := 5 + cfg.Class // grid side 2^logN
+	if logN > 10 {
+		logN = 10
+	}
+	n := 1 << logN
+
+	grid := make([][]complex128, n)
+	orig := make([][]complex128, n)
+	scratch := make([][]complex128, n)
+	for i := range grid {
+		grid[i] = make([]complex128, n)
+		orig[i] = make([]complex128, n)
+		scratch[i] = make([]complex128, n)
+		for j := range grid[i] {
+			val := complex(math.Sin(float64(i*j+1)), math.Cos(float64(i-j)))
+			grid[i][j] = val
+			orig[i][j] = val
+		}
+	}
+
+	h, err := newTeam(v, cfg.Tasks, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	bar := h.phasers[0]
+
+	pass2D := func(id int, t *core.Task, inverse bool) error {
+		lo, hi := slicePart(n, id, cfg.Tasks)
+		for i := lo; i < hi; i++ {
+			fft(grid[i], inverse)
+		}
+		if err := bar.Advance(t); err != nil {
+			return err
+		}
+		// Transpose grid into scratch (each task moves its target rows).
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				scratch[i][j] = grid[j][i]
+			}
+		}
+		if err := bar.Advance(t); err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			copy(grid[i], scratch[i])
+			fft(grid[i], inverse)
+		}
+		return bar.Advance(t)
+	}
+
+	err = h.run(func(id int, t *core.Task) error {
+		if err := pass2D(id, t, false); err != nil {
+			return err
+		}
+		return pass2D(id, t, true)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// After forward+inverse each element equals n^2 * original (our fft
+	// does not normalise); verify and compute a checksum.
+	scale := float64(n) * float64(n)
+	var sum float64
+	ok := true
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			got := grid[i][j] / complex(scale, 0)
+			if cmplx.Abs(got-orig[i][j]) > 1e-9 {
+				ok = false
+			}
+			sum += cmplx.Abs(got)
+		}
+	}
+	res := Result{Checksum: sum, Verified: ok}
+	if !ok {
+		return res, ErrValidation
+	}
+	return res, nil
+}
+
+// fft is an in-place iterative radix-2 Cooley-Tukey transform.
+func fft(a []complex128, inverse bool) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				t := a[i+j+length/2] * w
+				a[i+j] = u + t
+				a[i+j+length/2] = u - t
+				w *= wl
+			}
+		}
+	}
+}

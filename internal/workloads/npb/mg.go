@@ -1,0 +1,178 @@
+package npb
+
+import (
+	"math"
+
+	"armus/internal/core"
+)
+
+// RunMG is the multigrid kernel: V-cycles of a 1-D Poisson solver
+// (weighted-Jacobi smoothing, full-weighting restriction, linear
+// interpolation), with a cyclic barrier after every grid sweep at every
+// level — the NPB MG pattern (one barrier, many fine-grained phases).
+// Validation: the residual norm must drop by a large factor per V-cycle.
+func RunMG(v *core.Verifier, cfg Config) (Result, error) {
+	logN := 9 + cfg.Class
+	if logN > 16 {
+		logN = 16
+	}
+	// 2^logN - 1 interior points: coarse grid point j then aligns exactly
+	// with fine grid point 2j, the standard vertex-centred coarsening.
+	n := 1<<logN - 1
+	cycles := 4
+
+	// One array per level; level 0 is finest.
+	levels := logN - 2
+	u := make([][]float64, levels)
+	f := make([][]float64, levels)
+	r := make([][]float64, levels)
+	size := n
+	for l := 0; l < levels; l++ {
+		u[l] = make([]float64, size+2) // with ghost boundary zeros
+		f[l] = make([]float64, size+2)
+		r[l] = make([]float64, size+2)
+		size /= 2
+	}
+	for i := 1; i <= n; i++ {
+		f[0][i] = math.Sin(math.Pi * float64(i) / float64(n+1))
+	}
+
+	h2 := make([]float64, levels) // grid spacing squared per level
+	sz := make([]int, levels)
+	size = n
+	for l := 0; l < levels; l++ {
+		hl := 1.0 / float64(size+1)
+		h2[l] = hl * hl
+		sz[l] = size
+		size /= 2
+	}
+
+	residNorm := func(l int) float64 {
+		s := 0.0
+		for i := 1; i <= sz[l]; i++ {
+			res := f[l][i] - (2*u[l][i]-u[l][i-1]-u[l][i+1])/h2[l]
+			s += res * res
+		}
+		return math.Sqrt(s)
+	}
+	initial := residNorm(0)
+
+	h, err := newTeam(v, cfg.Tasks, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	bar := h.phasers[0]
+
+	err = h.run(func(id int, t *core.Task) error {
+		smooth := func(l, sweeps int) error {
+			lo, hi := slicePart(sz[l], id, cfg.Tasks)
+			lo++ // arrays are 1-based with ghost cells
+			hi++
+			for s := 0; s < sweeps; s++ {
+				// Weighted Jacobi (w = 2/3) into r as scratch, then copy
+				// back: u_new = (1-w)u + w(u[i-1]+u[i+1]+h^2 f)/2.
+				for i := lo; i < hi; i++ {
+					r[l][i] = u[l][i]/3 + (u[l][i-1]+u[l][i+1]+h2[l]*f[l][i])/3
+				}
+				if err := bar.Advance(t); err != nil {
+					return err
+				}
+				for i := lo; i < hi; i++ {
+					u[l][i] = r[l][i]
+				}
+				if err := bar.Advance(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// coarseSolve solves the coarsest system exactly (Thomas
+		// algorithm) on task 0; the barrier publishes the result.
+		coarseSolve := func(l int) error {
+			if err := bar.Advance(t); err != nil {
+				return err
+			}
+			if id == 0 {
+				m := sz[l]
+				diag := make([]float64, m+1)
+				rhs := make([]float64, m+1)
+				for i := 1; i <= m; i++ {
+					diag[i] = 2 / h2[l]
+					rhs[i] = f[l][i]
+				}
+				off := -1 / h2[l]
+				for i := 2; i <= m; i++ {
+					w := off / diag[i-1]
+					diag[i] -= w * off
+					rhs[i] -= w * rhs[i-1]
+				}
+				u[l][m] = rhs[m] / diag[m]
+				for i := m - 1; i >= 1; i-- {
+					u[l][i] = (rhs[i] - off*u[l][i+1]) / diag[i]
+				}
+			}
+			return bar.Advance(t)
+		}
+		var vcycle func(l int) error
+		vcycle = func(l int) error {
+			if l == levels-1 {
+				return coarseSolve(l)
+			}
+			if err := smooth(l, 2); err != nil {
+				return err
+			}
+			// Residual on l, restricted into f[l+1].
+			lo, hi := slicePart(sz[l+1], id, cfg.Tasks)
+			lo++
+			hi++
+			for i := lo; i < hi; i++ {
+				fi := 2 * i
+				resL := func(j int) float64 {
+					if j < 1 || j > sz[l] {
+						return 0 // residual vanishes on the boundary
+					}
+					return f[l][j] - (2*u[l][j]-u[l][j-1]-u[l][j+1])/h2[l]
+				}
+				f[l+1][i] = 0.25*resL(fi-1) + 0.5*resL(fi) + 0.25*resL(fi+1)
+				u[l+1][i] = 0
+			}
+			if err := bar.Advance(t); err != nil {
+				return err
+			}
+			if err := vcycle(l + 1); err != nil {
+				return err
+			}
+			// Prolongate the correction and add.
+			clo, chi := slicePart(sz[l], id, cfg.Tasks)
+			clo++
+			chi++
+			for i := clo; i < chi; i++ {
+				if i%2 == 0 {
+					u[l][i] += u[l+1][i/2]
+				} else {
+					u[l][i] += 0.5 * (u[l+1][i/2] + u[l+1][i/2+1])
+				}
+			}
+			if err := bar.Advance(t); err != nil {
+				return err
+			}
+			return smooth(l, 2)
+		}
+		for c := 0; c < cycles; c++ {
+			if err := vcycle(0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	final := residNorm(0)
+	res := Result{Checksum: final, Verified: final < initial*1e-2}
+	if !res.Verified {
+		return res, ErrValidation
+	}
+	return res, nil
+}

@@ -1,0 +1,155 @@
+// Package npb provides Go ports of the synchronisation and compute
+// structure of the NPB / JGF kernels used in the paper's local evaluation
+// (§6.1, Tables 1-2 and Figure 6): BT, CG, FT, MG, RT and SP.
+//
+// Fidelity notes (see DESIGN.md, "Substitutions"): these are real
+// floating-point kernels — conjugate gradient, radix-2 FFT, a multigrid
+// V-cycle, ADI-style line sweeps and a small ray tracer — at laptop-scale
+// problem sizes. What the evaluation depends on is preserved exactly: a
+// fixed number of SPMD tasks, a fixed small number of cyclic barriers, and
+// stepwise iteration with barrier synchronisation between phases. Every
+// kernel validates its output.
+package npb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"armus/internal/core"
+)
+
+// Config parameterises a kernel run.
+type Config struct {
+	// Tasks is the SPMD team size.
+	Tasks int
+	// Class scales the problem (1 = smoke test, 2 = bench default, 3+ =
+	// larger). It plays the role of the NPB class letters (S, W, A, ...).
+	Class int
+}
+
+// Result reports a kernel run.
+type Result struct {
+	// Checksum is the kernel's validation value.
+	Checksum float64
+	// Verified is true when the kernel's built-in validity check passed.
+	Verified bool
+}
+
+// ErrValidation is returned when a kernel's verification test fails.
+var ErrValidation = errors.New("npb: verification failed")
+
+// Kernel names a runnable benchmark.
+type Kernel struct {
+	Name string
+	Run  func(v *core.Verifier, cfg Config) (Result, error)
+}
+
+// Kernels lists every kernel in the order of Table 1.
+func Kernels() []Kernel {
+	return []Kernel{
+		{"BT", RunBT},
+		{"CG", RunCG},
+		{"FT", RunFT},
+		{"MG", RunMG},
+		{"RT", RunRT},
+		{"SP", RunSP},
+	}
+}
+
+// team is the SPMD harness shared by all kernels. newTeam creates n worker
+// tasks, registers every worker with nPhasers cyclic barriers and DROPS the
+// parent (the correct discipline the running example violates); run
+// executes body on every worker and joins.
+type team struct {
+	n       int
+	main    *core.Task
+	tasks   []*core.Task
+	phasers []*core.Phaser
+}
+
+func newTeam(v *core.Verifier, n, nPhasers int) (*team, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("npb: team size %d", n)
+	}
+	h := &team{n: n, main: v.NewTask("npb-main")}
+	h.phasers = make([]*core.Phaser, nPhasers)
+	for i := range h.phasers {
+		h.phasers[i] = v.NewPhaser(h.main)
+	}
+	h.tasks = make([]*core.Task, n)
+	for i := range h.tasks {
+		h.tasks[i] = v.NewTask(fmt.Sprintf("npb-w%d", i))
+		for _, p := range h.phasers {
+			if err := p.Register(h.main, h.tasks[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, p := range h.phasers {
+		if err := p.Deregister(h.main); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// run executes body on each worker goroutine and returns the first error.
+func (h *team) run(body func(id int, t *core.Task) error) error {
+	defer h.main.Terminate()
+	errs := make(chan error, h.n)
+	for i := 0; i < h.n; i++ {
+		go func(id int, t *core.Task) {
+			defer t.Terminate()
+			errs <- body(id, t)
+		}(i, h.tasks[i])
+	}
+	var first error
+	for i := 0; i < h.n; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// slicePart returns the half-open [lo, hi) range of n items owned by
+// worker id out of tasks.
+func slicePart(n, id, tasks int) (int, int) {
+	lo := id * n / tasks
+	hi := (id + 1) * n / tasks
+	return lo, hi
+}
+
+// reducer implements a barrier-based all-reduce: every worker deposits a
+// partial value, synchronises, and reads back the total; a second barrier
+// protects the scratch slots from the next round's writes. This is how the
+// SPMD benchmarks compute dot products and norms.
+type reducer struct {
+	parts []float64
+	ph    *core.Phaser
+}
+
+func newReducer(n int, ph *core.Phaser) *reducer {
+	return &reducer{parts: make([]float64, n), ph: ph}
+}
+
+// sum reduces val across the team, returning the total to every worker.
+func (r *reducer) sum(id int, t *core.Task, val float64) (float64, error) {
+	r.parts[id] = val
+	if err := r.ph.Advance(t); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, p := range r.parts {
+		total += p
+	}
+	if err := r.ph.Advance(t); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}

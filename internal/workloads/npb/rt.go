@@ -1,0 +1,157 @@
+package npb
+
+import (
+	"math"
+
+	"armus/internal/core"
+)
+
+// RunRT is the JGF RayTracer kernel: render a sphere scene by ray casting,
+// parallel over interleaved scan lines, synchronising the team with a
+// cyclic barrier after each band of rows (the JGF barrier-per-round
+// structure). Validation: the image checksum is deterministic, so it must
+// match a sequential render.
+func RunRT(v *core.Verifier, cfg Config) (Result, error) {
+	side := 64 * cfg.Class
+	bands := 8
+
+	scene := buildScene()
+	img := make([]float64, side*side)
+
+	h, err := newTeam(v, cfg.Tasks, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	bar := h.phasers[0]
+
+	err = h.run(func(id int, t *core.Task) error {
+		rowsPerBand := side / bands
+		for band := 0; band < bands; band++ {
+			y0 := band * rowsPerBand
+			y1 := y0 + rowsPerBand
+			if band == bands-1 {
+				y1 = side
+			}
+			// Interleaved rows within the band, as JGF does.
+			for y := y0 + id; y < y1; y += cfg.Tasks {
+				for x := 0; x < side; x++ {
+					img[y*side+x] = scene.trace(x, y, side)
+				}
+			}
+			if err := bar.Advance(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	var sum float64
+	for _, p := range img {
+		sum += p
+	}
+	// Sequential reference render for validation.
+	var ref float64
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			ref += scene.trace(x, y, side)
+		}
+	}
+	res := Result{Checksum: sum, Verified: almostEqual(sum, ref, 1e-12)}
+	if !res.Verified {
+		return res, ErrValidation
+	}
+	return res, nil
+}
+
+type vec3 struct{ x, y, z float64 }
+
+func (a vec3) add(b vec3) vec3      { return vec3{a.x + b.x, a.y + b.y, a.z + b.z} }
+func (a vec3) sub(b vec3) vec3      { return vec3{a.x - b.x, a.y - b.y, a.z - b.z} }
+func (a vec3) scale(s float64) vec3 { return vec3{a.x * s, a.y * s, a.z * s} }
+func (a vec3) dot(b vec3) float64   { return a.x*b.x + a.y*b.y + a.z*b.z }
+func (a vec3) norm() vec3 {
+	l := math.Sqrt(a.dot(a))
+	if l == 0 {
+		return a
+	}
+	return a.scale(1 / l)
+}
+
+type sphere struct {
+	center vec3
+	radius float64
+	shade  float64
+}
+
+type rtScene struct {
+	spheres []sphere
+	light   vec3
+}
+
+func buildScene() *rtScene {
+	return &rtScene{
+		spheres: []sphere{
+			{vec3{0, 0, -3}, 1.0, 0.9},
+			{vec3{1.5, 0.5, -4}, 0.7, 0.6},
+			{vec3{-1.5, -0.3, -2.5}, 0.5, 0.8},
+			{vec3{0, -101, -3}, 100, 0.3}, // floor
+		},
+		light: vec3{5, 5, 0},
+	}
+}
+
+// trace casts one primary ray through pixel (px, py) and returns its
+// Lambertian shade with hard shadows.
+func (s *rtScene) trace(px, py, side int) float64 {
+	u := (float64(px)/float64(side) - 0.5) * 2
+	w := (float64(py)/float64(side) - 0.5) * 2
+	dir := vec3{u, -w, -1}.norm()
+	origin := vec3{0, 0, 0}
+	tHit, hit := s.intersect(origin, dir)
+	if hit < 0 {
+		return 0.05 // background
+	}
+	p := origin.add(dir.scale(tHit))
+	n := p.sub(s.spheres[hit].center).norm()
+	l := s.light.sub(p).norm()
+	lambert := n.dot(l)
+	if lambert < 0 {
+		lambert = 0
+	}
+	// Shadow ray.
+	if _, sh := s.intersect(p.add(n.scale(1e-6)), l); sh >= 0 {
+		lambert *= 0.2
+	}
+	return 0.05 + lambert*s.spheres[hit].shade
+}
+
+// intersect returns the nearest hit parameter and sphere index (-1 = miss).
+func (s *rtScene) intersect(o, d vec3) (float64, int) {
+	best := math.Inf(1)
+	idx := -1
+	for i, sp := range s.spheres {
+		oc := o.sub(sp.center)
+		b := oc.dot(d)
+		c := oc.dot(oc) - sp.radius*sp.radius
+		disc := b*b - c
+		if disc < 0 {
+			continue
+		}
+		sq := math.Sqrt(disc)
+		t := -b - sq
+		if t < 1e-9 {
+			t = -b + sq
+		}
+		if t > 1e-9 && t < best {
+			best = t
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, -1
+	}
+	return best, idx
+}

@@ -1,0 +1,121 @@
+package npb
+
+import (
+	"math"
+
+	"armus/internal/core"
+)
+
+// RunSP is the scalar-pentadiagonal kernel: like BT, an ADI iteration over
+// a 2-D grid, but each line solve is a scalar pentadiagonal system — the
+// NPB SP structure. Two cyclic barriers separate the x- and y-sweeps of
+// each iteration. Validation: contraction of the solution norm without
+// NaNs, as for BT.
+func RunSP(v *core.Verifier, cfg Config) (Result, error) {
+	n := 48 + 16*cfg.Class
+	iters := 6 + 2*cfg.Class
+
+	u := make([][]float64, n)
+	for i := range u {
+		u[i] = make([]float64, n)
+		for j := range u[i] {
+			u[i][j] = math.Sin(float64(i+1)) * math.Cos(float64(j+1))
+		}
+	}
+	norm := func() float64 {
+		s := 0.0
+		for i := range u {
+			for j := range u[i] {
+				s += u[i][j] * u[i][j]
+			}
+		}
+		return math.Sqrt(s)
+	}
+	initial := norm()
+
+	// SP uses two barriers (one per sweep direction) to match the NPB
+	// code's distinct synchronisation points.
+	h, err := newTeam(v, cfg.Tasks, 2)
+	if err != nil {
+		return Result{}, err
+	}
+	barX, barY := h.phasers[0], h.phasers[1]
+
+	err = h.run(func(id int, t *core.Task) error {
+		lo, hi := slicePart(n, id, cfg.Tasks)
+		line := make([]float64, n)
+		for it := 0; it < iters; it++ {
+			for i := lo; i < hi; i++ {
+				copy(line, u[i])
+				solvePentadiag(line)
+				copy(u[i], line)
+			}
+			if err := barX.Advance(t); err != nil {
+				return err
+			}
+			for j := lo; j < hi; j++ {
+				for i := 0; i < n; i++ {
+					line[i] = u[i][j]
+				}
+				solvePentadiag(line)
+				for i := 0; i < n; i++ {
+					u[i][j] = line[i]
+				}
+			}
+			if err := barY.Advance(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	final := norm()
+	res := Result{Checksum: final, Verified: !math.IsNaN(final) && final < initial}
+	if !res.Verified {
+		return res, ErrValidation
+	}
+	return res, nil
+}
+
+// solvePentadiag solves the diagonally dominant pentadiagonal system
+// (stencil -1 -1 8 -1 -1) x = rhs in place by Gaussian elimination without
+// pivoting (safe: strictly diagonally dominant).
+func solvePentadiag(x []float64) {
+	n := len(x)
+	if n < 3 {
+		return
+	}
+	// Bands: a (i-2), b (i-1), d (diag), e (i+1), f (i+2).
+	a := make([]float64, n)
+	b := make([]float64, n)
+	d := make([]float64, n)
+	e := make([]float64, n)
+	f := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i], b[i], d[i], e[i], f[i] = -1, -1, 8, -1, -1
+	}
+	// Forward elimination.
+	for i := 0; i < n-1; i++ {
+		m := b[i+1] / d[i]
+		d[i+1] -= m * e[i]
+		e[i+1] -= m * f[i]
+		x[i+1] -= m * x[i]
+		if i+2 < n {
+			m2 := a[i+2] / d[i]
+			b[i+2] -= m2 * e[i]
+			d[i+2] -= m2 * f[i]
+			x[i+2] -= m2 * x[i]
+		}
+	}
+	// Back substitution.
+	x[n-1] /= d[n-1]
+	if n >= 2 {
+		x[n-2] = (x[n-2] - e[n-2]*x[n-1]) / d[n-2]
+	}
+	for i := n - 3; i >= 0; i-- {
+		x[i] = (x[i] - e[i]*x[i+1] - f[i]*x[i+2]) / d[i]
+	}
+}
