@@ -1,5 +1,5 @@
-// Distributed: two sites, a shared store, and a deadlock whose halves live
-// on different sites — neither site's local view has a cycle, but every
+// Distributed: three sites, a shared store, and a ring deadlock whose arcs
+// live on different sites — no site's local view has a cycle, but every
 // site detects the global one (§5.2 one-phase distributed detection).
 package main
 
@@ -11,6 +11,8 @@ import (
 	"armus"
 )
 
+const nSites = 3
+
 func main() {
 	srv, err := armus.NewStoreServer("127.0.0.1:0")
 	if err != nil {
@@ -19,9 +21,10 @@ func main() {
 	defer srv.Close()
 	fmt.Println("store listening on", srv.Addr())
 
-	reports := make(chan *armus.DeadlockError, 2)
-	mkSite := func(id int) *armus.Site {
-		return armus.NewSite(id, srv.Addr(),
+	reports := make(chan *armus.DeadlockError, nSites)
+	sites := make([]*armus.Site, nSites)
+	for i := range sites {
+		sites[i] = armus.NewSite(i+1, srv.Addr(),
 			armus.WithSitePeriod(20*time.Millisecond),
 			armus.WithSiteOnDeadlock(func(e *armus.DeadlockError) {
 				select {
@@ -29,72 +32,60 @@ func main() {
 				default:
 				}
 			}))
+		defer sites[i].Close()
+		sites[i].Start()
 	}
-	s1, s2 := mkSite(1), mkSite(2)
-	defer s1.Close()
-	defer s2.Close()
-	s1.Start()
-	s2.Start()
 
-	// Site 1: worker w1 blocks on phaser p1 whose laggard is main1.
-	v1 := s1.Verifier()
-	main1 := v1.NewTask("site1-main")
-	p1 := v1.NewPhaser(main1)
-	w1 := v1.NewTask("site1-worker")
-	if err := p1.Register(main1, w1); err != nil {
-		log.Fatal(err)
+	// Per site: worker w blocks on the site's own phaser, whose laggard is
+	// that site's main task — an ordinary intra-site stall.
+	mains := make([]*armus.Task, nSites)
+	phasers := make([]*armus.Phaser, nSites)
+	for i, s := range sites {
+		v := s.Verifier()
+		mains[i] = v.NewTask(fmt.Sprintf("site%d-main", s.ID()))
+		phasers[i] = v.NewPhaser(mains[i])
+		w := v.NewTask(fmt.Sprintf("site%d-worker", s.ID()))
+		if err := phasers[i].Register(mains[i], w); err != nil {
+			log.Fatal(err)
+		}
+		go func(p *armus.Phaser, w *armus.Task) { _ = p.Advance(w) }(phasers[i], w)
 	}
-	go func() { _ = p1.Advance(w1) }()
 
-	// Site 2 likewise.
-	v2 := s2.Verifier()
-	main2 := v2.NewTask("site2-main")
-	p2 := v2.NewPhaser(main2)
-	w2 := v2.NewTask("site2-worker")
-	if err := p2.Register(main2, w2); err != nil {
-		log.Fatal(err)
-	}
-	go func() { _ = p2.Advance(w2) }()
-
-	// So far: two independent stalls, NO global deadlock. Give the
+	// So far: three independent stalls, NO global deadlock. Give the
 	// publishers a moment and confirm no site reports anything.
 	time.Sleep(150 * time.Millisecond)
 	select {
 	case e := <-reports:
 		log.Fatalf("false positive: %v", e)
 	default:
-		fmt.Println("two independent stalls: correctly no deadlock reported")
+		fmt.Println("three independent stalls: correctly no deadlock reported")
 	}
 
-	// Now close the loop ACROSS sites: each main blocks awaiting a phase
-	// of the other site's phaser-ID space. We emulate the cross-site
-	// barrier by injecting the two halves of the blocked status that the
+	// Now close the ring ACROSS sites: each main blocks awaiting its own
+	// barrier's next phase while lagging the NEXT site's barrier. We
+	// emulate the cross-site barrier by injecting the blocked statuses an
 	// X10-style "at (p) async clocked(c)" runtime would produce.
-	v1.State().SetBlocked(armus.Blocked{
-		Task:     main1.ID(),
-		WaitsFor: []armus.Resource{{Phaser: p1.ID(), Phase: 1}},
-		Regs: []armus.Reg{
-			{Phaser: p1.ID(), Phase: 1},
-			{Phaser: p2.ID(), Phase: 0}, // main1 lags site 2's barrier
-		},
-	})
-	v2.State().SetBlocked(armus.Blocked{
-		Task:     main2.ID(),
-		WaitsFor: []armus.Resource{{Phaser: p2.ID(), Phase: 1}},
-		Regs: []armus.Reg{
-			{Phaser: p2.ID(), Phase: 1},
-			{Phaser: p1.ID(), Phase: 0}, // main2 lags site 1's barrier
-		},
-	})
+	for i, s := range sites {
+		next := (i + 1) % nSites
+		s.Verifier().State().SetBlocked(armus.Blocked{
+			Task:     mains[i].ID(),
+			WaitsFor: []armus.Resource{{Phaser: phasers[i].ID(), Phase: 1}},
+			Regs: []armus.Reg{
+				{Phaser: phasers[i].ID(), Phase: 1},
+				{Phaser: phasers[next].ID(), Phase: 0}, // lags the next site
+			},
+		})
+	}
 
 	select {
 	case e := <-reports:
-		fmt.Println("cross-site deadlock detected:", e)
+		fmt.Println("cross-site ring deadlock detected:", e)
 	case <-time.After(10 * time.Second):
 		log.Fatal("distributed detection never fired")
 	}
 
 	// Unstick the real workers for a clean shutdown.
-	_ = p1.Deregister(main1)
-	_ = p2.Deregister(main2)
+	for i := range sites {
+		_ = phasers[i].Deregister(mains[i])
+	}
 }

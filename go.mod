@@ -1,0 +1,3 @@
+module armus
+
+go 1.24

@@ -154,6 +154,15 @@ func (v *Verifier) Model() deps.Model { return v.model }
 // layer to publish local blocked statuses).
 func (v *Verifier) State() *deps.State { return v.state }
 
+// TaskName returns the report name registered for id ("" if the task is
+// unnamed or was minted by another verifier). The distributed layer uses it
+// to name the local tasks of a cross-site deadlock report.
+func (v *Verifier) TaskName(id deps.TaskID) string {
+	v.namesMu.RLock()
+	defer v.namesMu.RUnlock()
+	return v.names[id]
+}
+
 // Close stops the background detector, if any. Idempotent.
 func (v *Verifier) Close() {
 	v.closeOnce.Do(func() {

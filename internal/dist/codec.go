@@ -1,0 +1,170 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"armus/internal/deps"
+)
+
+// The snapshot wire format is a hand-rolled varint encoding rather than
+// encoding/gob: payloads are written every period by every site, so they
+// should be compact, allocation-light, and — because a snapshot may be read
+// back by a site running a different build, or after the store returned a
+// torn/corrupt value — every length must be validated before it is
+// allocated. Layout:
+//
+// The siteID and seq header fields are diagnostic metadata: seq counts the
+// publisher's rounds so an operator inspecting the store can tell a live
+// snapshot from a frozen one. The checker itself never ages snapshots out
+// by seq — a dead site's tasks stay genuinely blocked, so its last
+// snapshot stays valid input (see the package comment).
+//
+//	magic "ARMUSD1"
+//	uvarint siteID
+//	uvarint seq
+//	uvarint len(snap)
+//	per Blocked:
+//	    varint  Task
+//	    uvarint len(WaitsFor)  then per Resource: varint Phaser, varint Phase
+//	    uvarint len(Regs)      then per Reg:      varint Phaser, varint Phase
+//
+// Signed fields use zig-zag varints so distributed ID bases near the top of
+// the int64 range still encode compactly enough and negatives round-trip.
+
+// snapshotMagic versions the wire format; bump the trailing digit on any
+// incompatible change so mixed-version clusters drop (rather than misparse)
+// each other's snapshots.
+const snapshotMagic = "ARMUSD1"
+
+// maxSnapshotItems bounds every decoded length so a corrupt or hostile
+// payload cannot make the checker allocate unbounded memory (mirroring the
+// store's own maxBulk guard).
+const maxSnapshotItems = 1 << 20
+
+// encodeSnapshot serialises one site's blocked statuses.
+func encodeSnapshot(siteID int, seq uint64, snap []deps.Blocked) []byte {
+	buf := make([]byte, 0, len(snapshotMagic)+16+32*len(snap))
+	buf = append(buf, snapshotMagic...)
+	buf = binary.AppendUvarint(buf, uint64(siteID))
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(snap)))
+	for _, b := range snap {
+		buf = binary.AppendVarint(buf, int64(b.Task))
+		buf = binary.AppendUvarint(buf, uint64(len(b.WaitsFor)))
+		for _, r := range b.WaitsFor {
+			buf = binary.AppendVarint(buf, int64(r.Phaser))
+			buf = binary.AppendVarint(buf, r.Phase)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(b.Regs)))
+		for _, reg := range b.Regs {
+			buf = binary.AppendVarint(buf, int64(reg.Phaser))
+			buf = binary.AppendVarint(buf, reg.Phase)
+		}
+	}
+	return buf
+}
+
+// snapshotDecoder is a cursor over an encoded snapshot.
+type snapshotDecoder struct {
+	buf []byte
+}
+
+func (d *snapshotDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("dist: truncated snapshot")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *snapshotDecoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("dist: truncated snapshot")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *snapshotDecoder) length() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	// Every encoded item costs at least one byte, so a count larger than
+	// the remaining payload is corrupt — reject it BEFORE allocating, or a
+	// 15-byte payload claiming 2^20 items would cost tens of MB per check.
+	if v > maxSnapshotItems || v > uint64(len(d.buf)) {
+		return 0, fmt.Errorf("dist: snapshot length %d exceeds limit", v)
+	}
+	return int(v), nil
+}
+
+// decodeSnapshot parses a payload produced by encodeSnapshot. Any
+// malformation is an error: the caller drops the snapshot (counting it) so
+// one corrupt entry can never wedge a global check.
+func decodeSnapshot(payload []byte) (siteID int, seq uint64, snap []deps.Blocked, err error) {
+	if len(payload) < len(snapshotMagic) || string(payload[:len(snapshotMagic)]) != snapshotMagic {
+		return 0, 0, nil, fmt.Errorf("dist: bad snapshot magic")
+	}
+	d := &snapshotDecoder{buf: payload[len(snapshotMagic):]}
+	id, err := d.uvarint()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if seq, err = d.uvarint(); err != nil {
+		return 0, 0, nil, err
+	}
+	n, err := d.length()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	snap = make([]deps.Blocked, 0, n)
+	for i := 0; i < n; i++ {
+		var b deps.Blocked
+		t, err := d.varint()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		b.Task = deps.TaskID(t)
+		nw, err := d.length()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		b.WaitsFor = make([]deps.Resource, 0, nw)
+		for j := 0; j < nw; j++ {
+			q, err := d.varint()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			ph, err := d.varint()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			b.WaitsFor = append(b.WaitsFor, deps.Resource{Phaser: deps.PhaserID(q), Phase: ph})
+		}
+		nr, err := d.length()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		b.Regs = make([]deps.Reg, 0, nr)
+		for j := 0; j < nr; j++ {
+			q, err := d.varint()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			ph, err := d.varint()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			b.Regs = append(b.Regs, deps.Reg{Phaser: deps.PhaserID(q), Phase: ph})
+		}
+		snap = append(snap, b)
+	}
+	if len(d.buf) != 0 {
+		return 0, 0, nil, fmt.Errorf("dist: %d trailing bytes after snapshot", len(d.buf))
+	}
+	return int(id), seq, snap, nil
+}

@@ -1,0 +1,367 @@
+// Package dist implements one-phase, fault-tolerant distributed deadlock
+// detection (§5.2 of the paper). Each participating process runs a Site: a
+// local verifier in observe mode plus a background loop that, every period,
+//
+//  1. publishes the site's blocked statuses to the shared store (package
+//     store, the Redis stand-in), and
+//  2. fetches every other site's published snapshot, merges it with the
+//     live local state, and runs cycle analysis on the global view.
+//
+// The algorithm is one-phase because a blocked status is a pure function of
+// the blocked task's own registration vector (§2.2): sites never coordinate
+// or vote — each independently reaches the same verdict from the merged
+// view. It is fault-tolerant because snapshots are self-contained
+// overwrites: a site that crashes and restarts simply republishes, the
+// reconnecting store.Client rides out store restarts, and a corrupt
+// snapshot is dropped (counted in SiteStats) without wedging anyone else's
+// check. A *stale* snapshot — a site that died without withdrawing its key
+// — is deliberately kept: its tasks were genuinely blocked when it was
+// published and, with the site gone, can never advance, so any cycle it
+// participates in is a real, permanent deadlock (and an internally acyclic
+// stale snapshot can never fabricate one, because per-site snapshots are
+// consistent).
+//
+// Task and phaser IDs are made globally unique by offsetting each site's
+// verifier with core.WithIDBase(siteID << SiteIDShift), so merged snapshots
+// never alias and a report names the owning site of every task.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/store"
+)
+
+// DefaultPeriod is the publish/check period of the paper's distributed
+// evaluation (§6.2: sites verify every 200 ms).
+const DefaultPeriod = 200 * time.Millisecond
+
+// SiteIDShift is the bit position of the site ID inside task and phaser
+// IDs: site s mints IDs in [s<<SiteIDShift, (s+1)<<SiteIDShift), giving
+// every site 2^32 local IDs with no cross-site collisions.
+const SiteIDShift = 32
+
+// keyPrefix namespaces the per-site snapshot keys in the shared store; each
+// site overwrites only its own key and scans the prefix for everyone's.
+const keyPrefix = "armus:site:"
+
+// ErrSiteClosed is returned by PublishOnce and CheckOnce after Close: a
+// closed site must not re-publish the snapshot Close withdrew.
+var ErrSiteClosed = errors.New("dist: site is closed")
+
+// SiteOf recovers the publishing site of a distributed task or phaser ID
+// (0 for IDs minted by a non-distributed verifier).
+func SiteOf(id int64) int { return int(id >> SiteIDShift) }
+
+// Option configures NewSite.
+type Option func(*Site)
+
+// WithModel selects the graph model for the site's global analysis
+// (default deps.ModelAuto, the adaptive §5.1 policy).
+func WithModel(m deps.Model) Option { return func(s *Site) { s.model = m } }
+
+// WithPeriod sets the publish/check period (default DefaultPeriod).
+func WithPeriod(d time.Duration) Option { return func(s *Site) { s.period = d } }
+
+// WithVerifierMode overrides the mode of the site's local verifier. The
+// default is core.ModeObserve: blocked statuses are recorded for publishing
+// but no local checker runs (the global loop is the checker). ModeOff gives
+// the unchecked baseline of Figure 7. Avoidance is unavailable distributed,
+// exactly as in the paper (§5.2).
+func WithVerifierMode(m core.Mode) Option { return func(s *Site) { s.mode = m } }
+
+// WithOnDeadlock installs the handler for deadlocks found by the site's
+// global check. The default logs the report. The handler runs on the
+// site's loop goroutine; a given cycle is reported once until it changes.
+func WithOnDeadlock(f func(*core.DeadlockError)) Option {
+	return func(s *Site) { s.onDeadlock = f }
+}
+
+// Site is one participant of a distributed program: it owns the process's
+// local verifier and the publish/check loop of the one-phase algorithm.
+type Site struct {
+	id     int
+	model  deps.Model
+	period time.Duration
+	mode   core.Mode
+
+	v          *core.Verifier
+	client     *store.Client
+	onDeadlock func(*core.DeadlockError)
+
+	seq   atomic.Uint64
+	stats siteStats
+
+	// pubMu serialises publishing against Close so a PublishOnce racing
+	// Close can never recreate the key Close just withdrew (the store
+	// client transparently redials, so closing it is not enough).
+	pubMu sync.Mutex
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewSite creates site id connected to the store at addr. IDs minted by
+// the site's verifier are offset by id << SiteIDShift so they are globally
+// unique; ids must therefore be distinct across the cluster (and small
+// enough to leave the local ID space intact, i.e. 0 <= id < 2^31). The
+// loop is not running until Start.
+func NewSite(id int, addr string, opts ...Option) *Site {
+	s := &Site{
+		id:     id,
+		model:  deps.ModelAuto,
+		period: DefaultPeriod,
+		mode:   core.ModeObserve,
+		client: store.Dial(addr),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.onDeadlock == nil {
+		s.onDeadlock = func(e *core.DeadlockError) { log.Printf("armus: site %d: %v", id, e) }
+	}
+	s.v = core.New(
+		core.WithMode(s.mode),
+		core.WithModel(s.model),
+		core.WithIDBase(int64(id)<<SiteIDShift),
+	)
+	return s
+}
+
+// ID returns the site's cluster-unique identifier.
+func (s *Site) ID() int { return s.id }
+
+// Verifier returns the site's local verifier; the application creates its
+// tasks and phasers through it.
+func (s *Site) Verifier() *core.Verifier { return s.v }
+
+// Start launches the publish/check loop. Idempotent; a closed site does
+// not restart.
+func (s *Site) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop()
+}
+
+// Close stops the loop, withdraws the site's snapshot from the store
+// (best-effort), and closes the client and the local verifier. Idempotent.
+func (s *Site) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		close(s.stop)
+		<-s.done
+	}
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	if _, err := s.client.Del(s.key()); err != nil {
+		// The snapshot could not be withdrawn (store down?). Survivors will
+		// keep merging it as a stale snapshot — harmless while acyclic, but
+		// the operator should know it was left behind.
+		s.stats.withdrawFailures.Add(1)
+		log.Printf("armus: site %d: could not withdraw snapshot on close: %v", s.id, err)
+	}
+	s.client.Close()
+	s.v.Close()
+}
+
+func (s *Site) key() string { return fmt.Sprintf("%s%d", keyPrefix, s.id) }
+
+func (s *Site) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// loop is the site's verification round: publish, then check, every
+// period. Errors are counted, never fatal — the next round retries, which
+// together with the reconnecting client is the whole §5.2 fault-tolerance
+// story.
+func (s *Site) loop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.period)
+	defer ticker.Stop()
+	var lastReported string
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		_ = s.PublishOnce() // counted; check runs regardless (local view)
+		rep, err := s.CheckOnce()
+		if err != nil {
+			continue
+		}
+		if rep == nil {
+			lastReported = ""
+			continue
+		}
+		if fp := fingerprint(rep.Cycle); fp != lastReported {
+			lastReported = fp
+			s.stats.deadlocks.Add(1)
+			s.onDeadlock(rep)
+		}
+	}
+}
+
+// fingerprint identifies a cycle by its task set, so the loop reports a
+// persisting deadlock once rather than once per period.
+func fingerprint(c *deps.Cycle) string {
+	ids := make([]int64, len(c.Tasks))
+	for i, t := range c.Tasks {
+		ids[i] = int64(t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
+}
+
+// PublishOnce serialises the local blocked statuses and overwrites the
+// site's key in the store. One round of the publish half of the loop;
+// exported for tests and for applications that drive their own schedule.
+func (s *Site) PublishOnce() error {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	if s.isClosed() {
+		return ErrSiteClosed
+	}
+	payload := encodeSnapshot(s.id, s.seq.Add(1), s.v.State().Snapshot())
+	if err := s.client.Set(s.key(), payload); err != nil {
+		s.stats.publishErrors.Add(1)
+		return err
+	}
+	s.stats.publishes.Add(1)
+	return nil
+}
+
+// CheckOnce fetches every site's published snapshot, merges it with the
+// live local state, and runs cycle analysis on the global view. It returns
+// the deadlock report, or (nil, nil) when the global state is deadlock
+// free. Undecodable snapshots are dropped (counted in SiteStats) rather
+// than failing the check.
+func (s *Site) CheckOnce() (*core.DeadlockError, error) {
+	if s.isClosed() {
+		return nil, ErrSiteClosed
+	}
+	merged, err := s.fetchMerged()
+	if err != nil {
+		s.stats.checkErrors.Add(1)
+		return nil, err
+	}
+	a := deps.Build(s.model, merged)
+	s.stats.checks.Add(1)
+	cyc := a.FindDeadlock(merged)
+	if cyc == nil {
+		return nil, nil
+	}
+	return s.newReport(cyc), nil
+}
+
+// fetchMerged assembles the global view: the live local state plus every
+// other site's published snapshot. The local state is used directly (it is
+// fresher than the published copy of it); globally unique task IDs make
+// the merge a plain concatenation.
+func (s *Site) fetchMerged() ([]deps.Blocked, error) {
+	merged := s.v.State().Snapshot()
+	keys, err := s.client.Keys(keyPrefix)
+	if err != nil {
+		return nil, err
+	}
+	own := s.key()
+	for _, k := range keys {
+		if k == own {
+			continue
+		}
+		payload, err := s.client.Get(k)
+		if errors.Is(err, store.ErrNil) {
+			continue // withdrawn between KEYS and GET
+		}
+		if err != nil {
+			return nil, err
+		}
+		_, _, snap, err := decodeSnapshot(payload)
+		if err != nil {
+			s.stats.snapshotsDropped.Add(1)
+			continue
+		}
+		merged = append(merged, snap...)
+	}
+	return merged, nil
+}
+
+// newReport wraps a cycle as a *core.DeadlockError, naming local tasks
+// from the verifier and remote tasks by their owning site.
+func (s *Site) newReport(cyc *deps.Cycle) *core.DeadlockError {
+	names := make(map[deps.TaskID]string, len(cyc.Tasks))
+	for _, t := range cyc.Tasks {
+		if n := s.v.TaskName(t); n != "" {
+			names[t] = n
+		} else {
+			names[t] = fmt.Sprintf("site%d.task%d", SiteOf(int64(t)), int64(t)&(1<<SiteIDShift-1))
+		}
+	}
+	return &core.DeadlockError{Cycle: cyc, TaskNames: names}
+}
+
+// siteStats holds the site's atomic counters.
+type siteStats struct {
+	publishes        atomic.Int64
+	publishErrors    atomic.Int64
+	checks           atomic.Int64
+	checkErrors      atomic.Int64
+	snapshotsDropped atomic.Int64
+	deadlocks        atomic.Int64
+	withdrawFailures atomic.Int64
+}
+
+// SiteStats is a point-in-time copy of a site's counters.
+type SiteStats struct {
+	Publishes        int64 // snapshots successfully published
+	PublishErrors    int64 // publish rounds lost to store errors
+	Checks           int64 // global analyses completed
+	CheckErrors      int64 // check rounds lost to store errors
+	SnapshotsDropped int64 // undecodable remote snapshots skipped
+	Deadlocks        int64 // distinct deadlock reports delivered
+	WithdrawFailures int64 // Close could not remove the snapshot key
+}
+
+// Stats returns a snapshot of the site's counters.
+func (s *Site) Stats() SiteStats {
+	return SiteStats{
+		Publishes:        s.stats.publishes.Load(),
+		PublishErrors:    s.stats.publishErrors.Load(),
+		Checks:           s.stats.checks.Load(),
+		CheckErrors:      s.stats.checkErrors.Load(),
+		SnapshotsDropped: s.stats.snapshotsDropped.Load(),
+		Deadlocks:        s.stats.deadlocks.Load(),
+		WithdrawFailures: s.stats.withdrawFailures.Load(),
+	}
+}

@@ -1,0 +1,74 @@
+// Package disttest provides the cross-site deadlock-injection scaffolding
+// shared by the distributed test suites (internal/dist and
+// internal/workloads/hpcc). It is test-only: nothing in it runs in
+// production.
+package disttest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/dist"
+	"armus/internal/store"
+)
+
+// NewCluster starts a store and n sites (fast 3 ms period, deadlock
+// reports funnelled into the returned channel), all cleaned up with the
+// test. Extra options are applied after the defaults, so callers can
+// override the period or the handler. Sites are not Started.
+func NewCluster(t testing.TB, n int, opts ...dist.Option) (*store.Server, []*dist.Site, chan *core.DeadlockError) {
+	t.Helper()
+	srv, err := store.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	reports := make(chan *core.DeadlockError, 16*n)
+	sites := make([]*dist.Site, n)
+	for i := range sites {
+		all := append([]dist.Option{
+			dist.WithPeriod(3 * time.Millisecond),
+			dist.WithOnDeadlock(func(e *core.DeadlockError) {
+				select {
+				case reports <- e:
+				default:
+				}
+			}),
+		}, opts...)
+		sites[i] = dist.NewSite(i+1, srv.Addr(), all...)
+		t.Cleanup(sites[i].Close)
+	}
+	return srv, sites, reports
+}
+
+// InjectRing injects an n-site ring deadlock into a healthy cluster: site
+// i's main task awaits its own barrier's next phase while lagging site
+// i+1's barrier — the blocked statuses an X10-style "at (p) async
+// clocked(c)" runtime would produce. No single site's local view has a
+// cycle; only the merged global view does. It returns the injected task
+// IDs, one per site, in site order.
+func InjectRing(t testing.TB, sites []*dist.Site) []deps.TaskID {
+	t.Helper()
+	n := len(sites)
+	phasers := make([]deps.PhaserID, n)
+	tasks := make([]deps.TaskID, n)
+	for i, s := range sites {
+		main := s.Verifier().NewTask(fmt.Sprintf("site%d-main", s.ID()))
+		ph := s.Verifier().NewPhaser(main)
+		tasks[i], phasers[i] = main.ID(), ph.ID()
+	}
+	for i, s := range sites {
+		s.Verifier().State().SetBlocked(deps.Blocked{
+			Task:     tasks[i],
+			WaitsFor: []deps.Resource{{Phaser: phasers[i], Phase: 1}},
+			Regs: []deps.Reg{
+				{Phaser: phasers[i], Phase: 1},
+				{Phaser: phasers[(i+1)%n], Phase: 0}, // lags the next site's barrier
+			},
+		})
+	}
+	return tasks
+}

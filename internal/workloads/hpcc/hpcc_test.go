@@ -5,22 +5,16 @@ import (
 	"time"
 
 	"armus/internal/dist"
-	"armus/internal/store"
+	"armus/internal/dist/disttest"
 )
 
-// cluster spins up a store and nSites sites, cleaned up with the test.
+// cluster spins up a store and nSites started sites, cleaned up with the
+// test.
 func cluster(t testing.TB, nSites int, period time.Duration) []*dist.Site {
 	t.Helper()
-	srv, err := store.NewServer("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(srv.Close)
-	sites := make([]*dist.Site, nSites)
-	for i := range sites {
-		sites[i] = dist.NewSite(i+1, srv.Addr(), dist.WithPeriod(period))
-		sites[i].Start()
-		t.Cleanup(sites[i].Close)
+	_, sites, _ := disttest.NewCluster(t, nSites, dist.WithPeriod(period))
+	for _, s := range sites {
+		s.Start()
 	}
 	return sites
 }
@@ -76,6 +70,45 @@ func TestSingleSiteSingleTask(t *testing.T) {
 		if err := b.Run(sites, Config{TasksPerSite: 1, Class: 1}); err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
+	}
+}
+
+// TestInjectedCrossSiteDeadlockThreeSites runs a real benchmark on a
+// three-site cluster (healthy), then injects a cross-site ring deadlock —
+// each site's main task awaits its own barrier while lagging the next
+// site's — and waits for some site's OnDeadlock to report it. No single
+// site's local view contains the cycle; only the merged store view does.
+func TestInjectedCrossSiteDeadlockThreeSites(t *testing.T) {
+	const nSites = 3
+	_, sites, reports := disttest.NewCluster(t, nSites)
+	for _, s := range sites {
+		s.Start()
+	}
+
+	// A genuine workload first: the cluster must be healthy and quiet.
+	if err := RunStream(sites, Config{TasksPerSite: 2, Class: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-reports:
+		t.Fatalf("false positive during benchmark: %v", e)
+	default:
+	}
+
+	// Inject the ring: the blocked statuses an X10-style cross-site
+	// clocked async would produce.
+	disttest.InjectRing(t, sites)
+	select {
+	case e := <-reports:
+		siteSet := map[int]bool{}
+		for _, id := range e.Cycle.Tasks {
+			siteSet[dist.SiteOf(int64(id))] = true
+		}
+		if len(siteSet) != nSites {
+			t.Fatalf("cycle spans sites %v, want all %d: %v", siteSet, nSites, e)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("injected cross-site deadlock never reported")
 	}
 }
 
