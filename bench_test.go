@@ -39,7 +39,7 @@ func benchKernel(b *testing.B, k npb.Kernel, mode core.Mode, tasks int) {
 // against BenchmarkFig6Unchecked for the relative overhead of Table 1).
 func BenchmarkTable1Detection(b *testing.B) {
 	for _, k := range npb.Kernels() {
-		for _, tasks := range []int{2, 8} {
+		for _, tasks := range []int{2, 8, 64} {
 			b.Run(fmt.Sprintf("%s/tasks=%d", k.Name, tasks), func(b *testing.B) {
 				benchKernel(b, k, core.ModeDetect, tasks)
 			})
@@ -50,7 +50,7 @@ func BenchmarkTable1Detection(b *testing.B) {
 // BenchmarkTable2Avoidance: NPB kernels under avoidance mode (Table 2).
 func BenchmarkTable2Avoidance(b *testing.B) {
 	for _, k := range npb.Kernels() {
-		for _, tasks := range []int{2, 8} {
+		for _, tasks := range []int{2, 8, 64} {
 			b.Run(fmt.Sprintf("%s/tasks=%d", k.Name, tasks), func(b *testing.B) {
 				benchKernel(b, k, core.ModeAvoid, tasks)
 			})
@@ -62,7 +62,7 @@ func BenchmarkTable2Avoidance(b *testing.B) {
 // denominators of Tables 1-2).
 func BenchmarkFig6Unchecked(b *testing.B) {
 	for _, k := range npb.Kernels() {
-		for _, tasks := range []int{2, 8} {
+		for _, tasks := range []int{2, 8, 64} {
 			b.Run(fmt.Sprintf("%s/tasks=%d", k.Name, tasks), func(b *testing.B) {
 				benchKernel(b, k, core.ModeOff, tasks)
 			})
@@ -125,8 +125,9 @@ func benchCourse(b *testing.B, p course.Program, mode core.Mode, model deps.Mode
 }
 
 // BenchmarkFig8AvoidanceModels: course programs × graph model, avoidance
-// mode (Figure 8). The adaptive model should never lose to the worse fixed
-// model and should match the better one.
+// mode (Figure 8). The targeted avoidance gate ignores the model choice,
+// so the three variants should coincide up to noise (see EXPERIMENTS.md);
+// the live model comparison is BenchmarkFig9DetectionModels.
 func BenchmarkFig8AvoidanceModels(b *testing.B) {
 	for _, p := range course.Programs() {
 		for _, mc := range []struct {

@@ -8,11 +8,19 @@
 //	armus-bench -exp all
 //	armus-bench -exp table1 -samples 10 -class 2 -tasks 2,4,8,16
 //	armus-bench -exp fig7 -sites 8 -tasks-per-site 8
+//	armus-bench -exp table2 -samples 1 -json > bench.json
+//
+// With -json the tables are emitted as a JSON array on stdout (one element
+// per experiment, carrying its tables and wall-clock seconds) instead of
+// the aligned-text rendering, so runs can be archived and diffed (the
+// checked-in BENCH_*.json files are produced this way).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -20,6 +28,13 @@ import (
 
 	"armus/internal/harness"
 )
+
+// jsonResult is one experiment's archive entry for -json output.
+type jsonResult struct {
+	Experiment string           `json:"experiment"`
+	Seconds    float64          `json:"seconds"`
+	Tables     []*harness.Table `json:"tables"`
+}
 
 func main() {
 	var (
@@ -31,6 +46,7 @@ func main() {
 		sites        = flag.Int("sites", 4, "number of sites for figure 7")
 		tasksPerSite = flag.Int("tasks-per-site", 4, "tasks per site for figure 7")
 		period       = flag.Duration("period", 100*time.Millisecond, "detection scan period")
+		asJSON       = flag.Bool("json", false, "emit results as JSON on stdout instead of text tables")
 	)
 	flag.Parse()
 
@@ -39,8 +55,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "armus-bench:", err)
 		os.Exit(2)
 	}
+	var out io.Writer = os.Stdout
+	if *asJSON {
+		out = io.Discard // tables are collected and marshalled instead
+	}
 	o := harness.Options{
-		Out:          os.Stdout,
+		Out:          out,
 		Samples:      *samples,
 		Class:        *class,
 		TaskCounts:   counts,
@@ -55,6 +75,7 @@ func main() {
 	if *exp == "all" {
 		names = harness.ExperimentNames()
 	}
+	var results []jsonResult
 	for _, name := range names {
 		run, ok := experiments[name]
 		if !ok {
@@ -62,13 +83,33 @@ func main() {
 				name, strings.Join(harness.ExperimentNames(), ", "))
 			os.Exit(2)
 		}
-		fmt.Printf("== %s ==\n", name)
+		if !*asJSON {
+			fmt.Printf("== %s ==\n", name)
+		}
 		start := time.Now()
-		if err := run(o); err != nil {
+		tables, err := run(o)
+		elapsed := time.Since(start)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "armus-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *asJSON {
+			results = append(results, jsonResult{
+				Experiment: name,
+				Seconds:    elapsed.Seconds(),
+				Tables:     tables,
+			})
+			continue
+		}
+		fmt.Printf("(%s completed in %v)\n\n", name, elapsed.Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "armus-bench:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -19,10 +19,13 @@
 // Verification is sound and complete with respect to the paper's core
 // language PL: a deadlock is reported if and only if the program state is
 // deadlocked in the sense of its Definition 3.2 (mutual waiting among
-// blocked tasks). The analysis translates an event-based blocked-status
+// blocked tasks). Full scans translate an event-based blocked-status
 // representation into either a task-centric Wait-For Graph or an
-// event-centric State Graph — selected adaptively per check — and runs
-// cycle detection.
+// event-centric State Graph — selected adaptively per check — and run
+// cycle detection; the avoidance gate instead runs a targeted search over
+// a sharded, incrementally maintained index, so the per-block check is
+// sub-microsecond and allocation-free in steady state (see DESIGN.md "Hot
+// path" and the checked-in BENCH_*.json measurements).
 //
 // # Quick start
 //

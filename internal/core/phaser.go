@@ -339,7 +339,7 @@ func (p *Phaser) awaitLocked(t *Task, n int64) error {
 	}
 	// Assemble the blocked status AFTER any arrival so the registration
 	// vector reflects the task's true (now frozen) phases.
-	b := t.blockedStatus([]deps.Resource{{Phaser: p.id, Phase: n}})
+	b := t.blockedStatusFor(deps.Resource{Phaser: p.id, Phase: n})
 	if mode == ModeAvoid {
 		if cyc := p.v.avoidCheck(b); cyc != nil {
 			t.mu.Lock()

@@ -29,6 +29,11 @@ type Task struct {
 	// party registers a blocked task with a new phaser.
 	blockedOn []deps.Resource
 	done      bool
+	// waitsBuf/regsBuf back the blocked status assembled on every block.
+	// State.SetBlocked copies them, and a task blocks sequentially, so
+	// reusing them makes the block path allocation-free once warm.
+	waitsBuf []deps.Resource
+	regsBuf  []deps.Reg
 }
 
 // registration is the shared per-(task, phaser) record. The phase is
@@ -118,12 +123,16 @@ func (t *Task) regsLocked() []deps.Reg {
 
 // rawRegsLocked collects the registration vector without sorting — the
 // analysis does not need an order, and this runs on every block, so the
-// sort is kept out of the hot path. Wait-only registrations are excluded:
-// a wait-only task never gates an await, so it impedes nothing (this is
-// precisely the per-participant knowledge §5.3 says the original phaser
-// semantics need).
+// sort is kept out of the hot path.
 func (t *Task) rawRegsLocked() []deps.Reg {
-	out := make([]deps.Reg, 0, len(t.regs))
+	return t.rawRegsInto(make([]deps.Reg, 0, len(t.regs)))
+}
+
+// rawRegsInto appends the registration vector to out. Wait-only
+// registrations are excluded: a wait-only task never gates an await, so it
+// impedes nothing (this is precisely the per-participant knowledge §5.3
+// says the original phaser semantics need).
+func (t *Task) rawRegsInto(out []deps.Reg) []deps.Reg {
 	for p, r := range t.regs {
 		if r.mode == WaitOnly {
 			continue
@@ -133,13 +142,16 @@ func (t *Task) rawRegsLocked() []deps.Reg {
 	return out
 }
 
-// blockedStatus assembles the task's blocked status for the given awaited
-// events.
-func (t *Task) blockedStatus(waits []deps.Resource) deps.Blocked {
+// blockedStatusFor assembles the task's blocked status for one awaited
+// event, reusing the task-owned buffers (the state copies them on
+// SetBlocked, so aliasing them is safe until the task's next block).
+func (t *Task) blockedStatusFor(r deps.Resource) deps.Blocked {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.blockedOn = waits
-	return deps.Blocked{Task: t.id, WaitsFor: waits, Regs: t.rawRegsLocked()}
+	t.waitsBuf = append(t.waitsBuf[:0], r)
+	t.blockedOn = t.waitsBuf
+	t.regsBuf = t.rawRegsInto(t.regsBuf[:0])
+	return deps.Blocked{Task: t.id, WaitsFor: t.waitsBuf, Regs: t.regsBuf}
 }
 
 // clearBlocked removes the task's blocked record. Must be called before
@@ -161,4 +173,7 @@ func (t *Task) refreshBlockedLocked() {
 		return
 	}
 	t.v.state.SetBlocked(deps.Blocked{Task: t.id, WaitsFor: t.blockedOn, Regs: t.rawRegsLocked()})
+	// The refresh can add impedes edges that no gate will ever see (the
+	// task is already blocked): make the next avoidance gate scan fully.
+	t.v.noteBlockedRefresh()
 }

@@ -78,6 +78,22 @@ type Verifier struct {
 	// checkMu serialises avoidance-mode checks so that two tasks racing
 	// into a deadlock cannot both conclude "no cycle yet".
 	checkMu sync.Mutex
+	// avoidScratch is the avoidance gate's reusable DFS working set,
+	// owned under checkMu, so the gate allocates nothing once warm.
+	avoidScratch deps.CycleScratch
+	// fullPending is set when a third party refreshes the status of an
+	// already-blocked task (new impedes edges can appear without any task
+	// passing the gate); the next gate runs a defensive full scan.
+	fullPending atomic.Bool
+
+	// runMu serialises full-scan checks and owns the reusable snapshot
+	// buffer, builder and the version-keyed result cache of CheckNow.
+	runMu          sync.Mutex
+	builder        *deps.Builder
+	snapBuf        []deps.Blocked
+	checkedValid   bool
+	checkedVersion uint64
+	checkedErr     *DeadlockError
 
 	onDeadlock func(*DeadlockError)
 
@@ -124,11 +140,12 @@ func WithIDBase(base int64) Option {
 // checker. Call Close when done.
 func New(opts ...Option) *Verifier {
 	v := &Verifier{
-		mode:   ModeDetect,
-		model:  deps.ModelAuto,
-		period: DefaultPeriod,
-		state:  deps.NewState(),
-		names:  make(map[deps.TaskID]string),
+		mode:    ModeDetect,
+		model:   deps.ModelAuto,
+		period:  DefaultPeriod,
+		state:   deps.NewState(),
+		builder: deps.NewBuilder(),
+		names:   make(map[deps.TaskID]string),
 	}
 	for _, o := range opts {
 		o(v)
@@ -205,58 +222,98 @@ func (v *Verifier) detectLoop() {
 }
 
 // runCheck snapshots the state, builds the configured graph model, records
-// statistics, and returns the deadlock cycle, if any.
+// statistics, and returns the deadlock cycle, if any. It reuses the
+// verifier's snapshot buffer and builder (serialised by runMu), so a
+// steady stream of full scans allocates nothing once warm.
 func (v *Verifier) runCheck() *deps.Cycle {
-	snap := v.state.Snapshot()
-	a := deps.Build(v.model, snap)
+	v.runMu.Lock()
+	defer v.runMu.Unlock()
+	return v.runCheckLocked()
+}
+
+func (v *Verifier) runCheckLocked() *deps.Cycle {
+	v.snapBuf = v.state.SnapshotInto(v.snapBuf)
+	a := v.builder.Build(v.model, v.snapBuf)
 	v.recordCheck(a)
-	return a.FindDeadlock(snap)
+	return a.FindDeadlock(v.snapBuf)
 }
 
 // CheckNow runs one synchronous deadlock check and returns a *DeadlockError
 // describing the deadlock, or nil. It is safe from any goroutine and is the
-// building block of the distributed checker.
+// building block of the distributed checker. The verdict is cached by
+// state version: repeated calls on an unchanged state return the cached
+// result (the same *DeadlockError instance) without re-analysing — or
+// allocating — anything.
 func (v *Verifier) CheckNow() *DeadlockError {
-	if cyc := v.runCheck(); cyc != nil {
-		v.stats.deadlocks.Add(1)
-		return v.newDeadlockError(cyc)
+	v.runMu.Lock()
+	ver := v.state.Version()
+	if v.checkedValid && ver == v.checkedVersion {
+		err := v.checkedErr
+		v.runMu.Unlock()
+		return err
 	}
-	return nil
+	cyc := v.runCheckLocked()
+	var err *DeadlockError
+	if cyc != nil {
+		err = v.newDeadlockError(cyc)
+		v.stats.deadlocks.Add(1)
+	}
+	v.checkedValid = true
+	v.checkedVersion = ver
+	v.checkedErr = err
+	v.runMu.Unlock()
+	return err
 }
 
 // avoidCheck is the avoidance-mode gate: with b tentatively inserted in the
 // state, look for a cycle through b.Task. On deadlock the insertion is
 // rolled back and the cycle returned; otherwise b stays recorded (the task
 // will block) and nil is returned. checkMu makes gate decisions atomic.
+//
+// The gate is TARGETED: a cycle created by this block must pass through
+// b.Task, so instead of snapshotting and building a full graph it runs a
+// DFS from b.Task over the state's incremental phaser index — O(reachable
+// edges), zero allocations once the scratch is warm. Cycles that appear
+// WITHOUT a task passing the gate (a third party registering an
+// already-blocked task) flag a defensive full scan, preserving the old
+// full-Tarjan semantics.
 func (v *Verifier) avoidCheck(b deps.Blocked) *deps.Cycle {
 	v.checkMu.Lock()
 	defer v.checkMu.Unlock()
 	v.state.SetBlocked(b)
-	snap := v.state.Snapshot()
-	a := deps.Build(v.model, snap)
-	v.recordCheck(a)
-	cyc := a.FindDeadlock(snap)
+	cyc, edges := v.state.CycleThrough(b.Task, &v.avoidScratch)
+	v.recordTargetedCheck(edges)
 	if cyc == nil {
+		if v.fullPending.CompareAndSwap(true, false) {
+			// A blocked task's status was refreshed since the last gate:
+			// edges may have appeared elsewhere. Check the whole state.
+			if full := v.runCheck(); full != nil {
+				v.stats.deadlocks.Add(1)
+				// A refresh racing in after the targeted search could in
+				// principle close a cycle through b.Task itself: refuse
+				// the block then, exactly like the direct verdict.
+				for _, t := range full.Tasks {
+					if t == b.Task {
+						v.state.Clear(b.Task)
+						return full
+					}
+				}
+				// The cycle is elsewhere: report it and let this task
+				// block (it is not part of the deadlock).
+				v.onDeadlock(v.newDeadlockError(full))
+			}
+		}
 		return nil
 	}
-	for _, t := range cyc.Tasks {
-		if t == b.Task {
-			v.state.Clear(b.Task)
-			v.stats.deadlocks.Add(1)
-			return cyc
-		}
-	}
-	// A cycle that does not involve this task: it would have been caught
-	// when its last member blocked; report defensively but let this task
-	// block (it is not part of the deadlock).
+	v.state.Clear(b.Task)
 	v.stats.deadlocks.Add(1)
-	v.onDeadlock(v.newDeadlockError(cyc))
-	return nil
+	return cyc
 }
 
-func (v *Verifier) recordCheck(a *deps.Analysis) {
+// recordEdges accounts one analysis of e edges (examined or built) in the
+// check/edge counters.
+func (v *Verifier) recordEdges(e int64) {
 	v.stats.checks.Add(1)
-	e := int64(a.Graph.NumEdges())
 	v.stats.totalEdges.Add(e)
 	for {
 		max := v.stats.maxEdges.Load()
@@ -264,6 +321,26 @@ func (v *Verifier) recordCheck(a *deps.Analysis) {
 			break
 		}
 	}
+}
+
+// recordTargetedCheck accounts a targeted avoidance-gate check: edges is
+// the number of WFG edges the DFS examined (the targeted analogue of a
+// built graph's edge count).
+func (v *Verifier) recordTargetedCheck(edges int) {
+	v.recordEdges(int64(edges))
+}
+
+// noteBlockedRefresh records that the published status of an
+// already-blocked task changed without passing the avoidance gate, so the
+// next gate must run a defensive full scan.
+func (v *Verifier) noteBlockedRefresh() {
+	if v.mode == ModeAvoid {
+		v.fullPending.Store(true)
+	}
+}
+
+func (v *Verifier) recordCheck(a *deps.Analysis) {
+	v.recordEdges(int64(a.Graph.NumEdges()))
 	switch a.Model {
 	case deps.ModelWFG:
 		v.stats.wfgBuilds.Add(1)

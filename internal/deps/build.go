@@ -1,6 +1,7 @@
 package deps
 
 import (
+	"slices"
 	"sort"
 
 	"armus/internal/graph"
@@ -9,6 +10,9 @@ import (
 // Analysis is the result of translating a snapshot into a concrete graph
 // model. Exactly one of Tasks / Resources is non-nil for WFG / SG; GRG sets
 // both (task vertices first, then resource vertices).
+//
+// An Analysis produced by a Builder aliases the builder's reusable storage
+// and is valid until the builder's next Build call.
 type Analysis struct {
 	Graph *graph.Digraph
 	// Model is the representation actually built (for ModelAuto it is the
@@ -18,193 +22,266 @@ type Analysis struct {
 	Tasks []TaskID
 	// Resources maps SG (and GRG resource-) vertices to events.
 	Resources []Resource
+	// scratch, when set (builder-produced analyses), is the reusable
+	// cycle-detection working set, so FindDeadlock on an acyclic graph
+	// allocates nothing.
+	scratch *graph.Scratch
 }
 
-// phaserIndex groups, per phaser, the registrations of blocked tasks and
-// the set of awaited events. Both are the only inputs the builders need.
-type phaserIndex struct {
-	// regs[q] lists (taskVertex, localPhase) for each blocked task
-	// registered with q.
-	regs map[PhaserID][]regEntry
-	// waits[q] lists the distinct phases of q that some task awaits,
-	// ascending.
-	waits map[PhaserID][]int64
-	// taskOf maps task vertex -> snapshot index.
-	snap []Blocked
+// ixReg is one registration in the builder's index: blocked task (as a
+// snapshot/vertex index) ti is registered with phaser at phase.
+type ixReg struct {
+	phaser PhaserID
+	phase  int64
+	task   int32
 }
 
-type regEntry struct {
-	task  int32 // vertex index into snap
-	phase int64
+// ixWait is one awaited event in the builder's index. The sorted, deduped
+// wait array doubles as the SG/GRG resource-vertex numbering.
+type ixWait struct {
+	phaser PhaserID
+	phase  int64
 }
 
-func buildIndex(snap []Blocked) *phaserIndex {
-	ix := &phaserIndex{
-		regs:  make(map[PhaserID][]regEntry),
-		waits: make(map[PhaserID][]int64),
-		snap:  snap,
-	}
+// Builder translates snapshots into graph models using reusable storage:
+// the per-phaser index, the graph adjacency, the vertex maps and the cycle
+// scratch all persist across Build calls, so a checker that rebuilds its
+// analysis periodically (the detection loop) allocates nothing once warm.
+// A Builder is owned by one checker at a time.
+type Builder struct {
+	regs      []ixReg  // sorted by (phaser, phase)
+	waits     []ixWait // sorted by (phaser, phase), deduped
+	g         graph.Digraph
+	sc        graph.Scratch
+	tasks     []TaskID
+	resources []Resource
+	a         Analysis
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// buildIndex derives the per-phaser registration and wait arrays from the
+// snapshot. The arrays are sorted so lookups are binary searches and the
+// wait array's positions are the SG resource-vertex numbering (phasers
+// ascending, phases ascending within a phaser — the same deterministic
+// order the map-based builder produced).
+func (bd *Builder) buildIndex(snap []Blocked) {
+	bd.regs = bd.regs[:0]
+	bd.waits = bd.waits[:0]
 	for ti, b := range snap {
 		for _, reg := range b.Regs {
-			ix.regs[reg.Phaser] = append(ix.regs[reg.Phaser], regEntry{int32(ti), reg.Phase})
+			bd.regs = append(bd.regs, ixReg{phaser: reg.Phaser, phase: reg.Phase, task: int32(ti)})
 		}
 		for _, r := range b.WaitsFor {
-			ix.waits[r.Phaser] = append(ix.waits[r.Phaser], r.Phase)
+			bd.waits = append(bd.waits, ixWait{phaser: r.Phaser, phase: r.Phase})
 		}
 	}
-	for q, ph := range ix.waits {
-		sort.Slice(ph, func(i, j int) bool { return ph[i] < ph[j] })
-		// dedupe
-		out := ph[:0]
-		for i, p := range ph {
-			if i == 0 || p != out[len(out)-1] {
-				out = append(out, p)
-			}
-		}
-		ix.waits[q] = out
-	}
-	return ix
+	slices.SortFunc(bd.regs, func(a, b ixReg) int {
+		return cmpPhaserPhase(a.phaser, a.phase, b.phaser, b.phase)
+	})
+	slices.SortFunc(bd.waits, func(a, b ixWait) int {
+		return cmpPhaserPhase(a.phaser, a.phase, b.phaser, b.phase)
+	})
+	bd.waits = slices.Compact(bd.waits)
 }
 
-// BuildWFG constructs the Wait-For Graph of Definition 4.2: vertices are
-// blocked tasks; edge t1 -> t2 iff some event r = (q, n) is awaited by t1
-// and impeded by t2 (t2 registered with q at phase m < n). t1 "waits for"
-// t2 to make progress.
-func BuildWFG(snap []Blocked) *Analysis {
-	ix := buildIndex(snap)
-	g := graph.New(len(snap))
-	tasks := make([]TaskID, len(snap))
-	for i, b := range snap {
-		tasks[i] = b.Task
+// cmpPhaserPhase orders index entries by (phaser, phase) ascending — the
+// shared sort key of the registration and wait arrays.
+func cmpPhaserPhase(qa PhaserID, na int64, qb PhaserID, nb int64) int {
+	switch {
+	case qa < qb:
+		return -1
+	case qa > qb:
+		return 1
+	case na < nb:
+		return -1
+	case na > nb:
+		return 1
+	default:
+		return 0
 	}
-	for t1, b := range snap {
-		for _, r := range b.WaitsFor {
-			for _, re := range ix.regs[r.Phaser] {
-				if re.phase < r.Phase {
-					g.AddEdge(t1, int(re.task))
-				}
-			}
-		}
-	}
-	return &Analysis{Graph: g, Model: ModelWFG, Tasks: tasks}
 }
 
-// BuildSG constructs the State Graph of Definition 4.3: vertices are the
-// awaited events; edge r1 -> r2 iff some task t impedes r1 (t registered at
-// a phase below r1's) and awaits r2. Event r1 cannot be observed before r2.
-func BuildSG(snap []Blocked) *Analysis {
-	a, _ := buildSGBounded(snap, -1)
-	return a
+// regsBelow returns the registrations of phaser q with phase < n: with the
+// index sorted by (phaser, phase) they are a contiguous run.
+func (bd *Builder) regsBelow(q PhaserID, n int64) []ixReg {
+	lo := sort.Search(len(bd.regs), func(i int) bool {
+		return bd.regs[i].phaser >= q
+	})
+	hi := sort.Search(len(bd.regs)-lo, func(i int) bool {
+		e := bd.regs[lo+i]
+		return e.phaser > q || e.phase >= n
+	})
+	return bd.regs[lo : lo+hi]
 }
 
-// buildSGBounded builds the SG but gives up when, after processing each
-// task, the running edge count exceeds maxEdgesPerTask × tasksProcessed
-// (the §5.1 adaptive bail-out). maxEdgesPerTask < 0 disables the bound.
-// It returns (analysis, true) on success and (nil, false) when the bound
-// was hit.
-func buildSGBounded(snap []Blocked, maxEdgesPerTask int) (*Analysis, bool) {
-	ix := buildIndex(snap)
-	// Assign a vertex to every awaited event, ordered deterministically.
-	phasers := make([]PhaserID, 0, len(ix.waits))
-	for q := range ix.waits {
-		phasers = append(phasers, q)
-	}
-	sort.Slice(phasers, func(i, j int) bool { return phasers[i] < phasers[j] })
-	vertexOf := make(map[Resource]int)
-	var resources []Resource
-	for _, q := range phasers {
-		for _, n := range ix.waits[q] {
-			r := Resource{q, n}
-			vertexOf[r] = len(resources)
-			resources = append(resources, r)
-		}
-	}
-	g := graph.New(len(resources))
-	for processed, b := range snap {
-		// Events impeded by b: for each registration (q, m), every awaited
-		// event (q, n) with n > m. Edge to every event awaited by b.
-		for _, reg := range b.Regs {
-			waited := ix.waits[reg.Phaser]
-			// binary search for first waited phase > reg.Phase
-			lo := sort.Search(len(waited), func(i int) bool { return waited[i] > reg.Phase })
-			for _, n := range waited[lo:] {
-				v1 := vertexOf[Resource{reg.Phaser, n}]
-				for _, r2 := range b.WaitsFor {
-					g.AddEdge(v1, vertexOf[r2])
-				}
-			}
-		}
-		if maxEdgesPerTask >= 0 && g.NumEdges() > maxEdgesPerTask*(processed+1) {
-			return nil, false
-		}
-	}
-	return &Analysis{Graph: g, Model: ModelSG, Resources: resources}, true
+// waitRange returns [lo, hi) positions of phaser q's awaited events in the
+// wait array; positions are SG resource-vertex indices.
+func (bd *Builder) waitRange(q PhaserID) (int, int) {
+	lo := sort.Search(len(bd.waits), func(i int) bool {
+		return bd.waits[i].phaser >= q
+	})
+	hi := lo + sort.Search(len(bd.waits)-lo, func(i int) bool {
+		return bd.waits[lo+i].phaser > q
+	})
+	return lo, hi
 }
 
-// BuildGRG constructs the General Resource Graph of Definition 4.4: the
-// bipartite graph with task vertices (first) and event vertices (after),
-// edges t -> r for r ∈ W(t) and r -> t for t ∈ I(r).
-func BuildGRG(snap []Blocked) *Analysis {
-	ix := buildIndex(snap)
-	tasks := make([]TaskID, len(snap))
-	for i, b := range snap {
-		tasks[i] = b.Task
-	}
-	phasers := make([]PhaserID, 0, len(ix.waits))
-	for q := range ix.waits {
-		phasers = append(phasers, q)
-	}
-	sort.Slice(phasers, func(i, j int) bool { return phasers[i] < phasers[j] })
-	vertexOf := make(map[Resource]int)
-	var resources []Resource
-	for _, q := range phasers {
-		for _, n := range ix.waits[q] {
-			r := Resource{q, n}
-			vertexOf[r] = len(tasks) + len(resources)
-			resources = append(resources, r)
-		}
-	}
-	g := graph.New(len(tasks) + len(resources))
-	for ti, b := range snap {
-		for _, r := range b.WaitsFor {
-			g.AddEdge(ti, vertexOf[r])
-		}
-		for _, reg := range b.Regs {
-			waited := ix.waits[reg.Phaser]
-			lo := sort.Search(len(waited), func(i int) bool { return waited[i] > reg.Phase })
-			for _, n := range waited[lo:] {
-				g.AddEdge(vertexOf[Resource{reg.Phaser, n}], ti)
-			}
-		}
-	}
-	return &Analysis{Graph: g, Model: ModelGRG, Tasks: tasks, Resources: resources}
+// vertexOf returns the resource-vertex index of awaited event r (which is
+// present by construction).
+func (bd *Builder) vertexOf(r Resource) int {
+	lo, hi := bd.waitRange(r.Phaser)
+	return lo + sort.Search(hi-lo, func(i int) bool {
+		return bd.waits[lo+i].phase >= r.Phase
+	})
 }
 
 // Build translates the snapshot under the requested model. For ModelAuto it
 // applies the §5.1 policy: try the SG first; if at any point the SG has
 // more edges than AdaptiveThreshold × tasks processed so far, build a WFG
-// instead.
-func Build(model Model, snap []Blocked) *Analysis {
+// instead. The returned Analysis aliases the builder's storage and is
+// valid until the next Build call.
+func (bd *Builder) Build(model Model, snap []Blocked) *Analysis {
+	bd.buildIndex(snap)
 	switch model {
 	case ModelWFG:
-		return BuildWFG(snap)
+		return bd.buildWFG(snap)
 	case ModelSG:
-		return BuildSG(snap)
+		a, _ := bd.buildSGBounded(snap, -1)
+		return a
 	case ModelGRG:
-		return BuildGRG(snap)
+		return bd.buildGRG(snap)
 	default: // ModelAuto
-		return BuildAdaptive(snap, AdaptiveThreshold)
+		return bd.buildAdaptive(snap, AdaptiveThreshold)
 	}
 }
 
 // BuildAdaptive applies the adaptive policy with an explicit bail-out
 // threshold (edges per task processed); it exists so the threshold choice
 // can be studied in isolation (the ablation benchmarks sweep it).
-func BuildAdaptive(snap []Blocked, threshold int) *Analysis {
-	if a, ok := buildSGBounded(snap, threshold); ok {
+func (bd *Builder) BuildAdaptive(snap []Blocked, threshold int) *Analysis {
+	bd.buildIndex(snap)
+	return bd.buildAdaptive(snap, threshold)
+}
+
+// buildAdaptive assumes the index is already built (so the SG attempt and
+// the WFG fallback share one index derivation).
+func (bd *Builder) buildAdaptive(snap []Blocked, threshold int) *Analysis {
+	if a, ok := bd.buildSGBounded(snap, threshold); ok {
 		return a
 	}
-	return BuildWFG(snap)
+	return bd.buildWFG(snap)
+}
+
+// buildWFG constructs the Wait-For Graph of Definition 4.2: vertices are
+// blocked tasks; edge t1 -> t2 iff some event r = (q, n) is awaited by t1
+// and impeded by t2 (t2 registered with q at phase m < n). t1 "waits for"
+// t2 to make progress.
+func (bd *Builder) buildWFG(snap []Blocked) *Analysis {
+	bd.g.Reset(len(snap))
+	bd.tasks = bd.tasks[:0]
+	for _, b := range snap {
+		bd.tasks = append(bd.tasks, b.Task)
+	}
+	for t1, b := range snap {
+		for _, r := range b.WaitsFor {
+			for _, re := range bd.regsBelow(r.Phaser, r.Phase) {
+				bd.g.AddEdge(t1, int(re.task))
+			}
+		}
+	}
+	bd.a = Analysis{Graph: &bd.g, Model: ModelWFG, Tasks: bd.tasks, scratch: &bd.sc}
+	return &bd.a
+}
+
+// buildSGBounded builds the State Graph of Definition 4.3 — vertices are
+// the awaited events; edge r1 -> r2 iff some task t impedes r1 (t
+// registered at a phase below r1's) and awaits r2 — but gives up when,
+// after processing each task, the running edge count exceeds
+// maxEdgesPerTask × tasksProcessed (the §5.1 adaptive bail-out).
+// maxEdgesPerTask < 0 disables the bound. It returns (analysis, true) on
+// success and (nil, false) when the bound was hit.
+func (bd *Builder) buildSGBounded(snap []Blocked, maxEdgesPerTask int) (*Analysis, bool) {
+	bd.resources = bd.resources[:0]
+	for _, w := range bd.waits {
+		bd.resources = append(bd.resources, Resource{Phaser: w.phaser, Phase: w.phase})
+	}
+	bd.g.Reset(len(bd.waits))
+	for processed, b := range snap {
+		// Events impeded by b: for each registration (q, m), every awaited
+		// event (q, n) with n > m. Edge to every event awaited by b.
+		for _, reg := range b.Regs {
+			lo, hi := bd.waitRange(reg.Phaser)
+			cut := lo + sort.Search(hi-lo, func(i int) bool {
+				return bd.waits[lo+i].phase > reg.Phase
+			})
+			for v1 := cut; v1 < hi; v1++ {
+				for _, r2 := range b.WaitsFor {
+					bd.g.AddEdge(v1, bd.vertexOf(r2))
+				}
+			}
+		}
+		if maxEdgesPerTask >= 0 && bd.g.NumEdges() > maxEdgesPerTask*(processed+1) {
+			return nil, false
+		}
+	}
+	bd.a = Analysis{Graph: &bd.g, Model: ModelSG, Resources: bd.resources, scratch: &bd.sc}
+	return &bd.a, true
+}
+
+// buildGRG constructs the General Resource Graph of Definition 4.4: the
+// bipartite graph with task vertices (first) and event vertices (after),
+// edges t -> r for r ∈ W(t) and r -> t for t ∈ I(r).
+func (bd *Builder) buildGRG(snap []Blocked) *Analysis {
+	bd.tasks = bd.tasks[:0]
+	for _, b := range snap {
+		bd.tasks = append(bd.tasks, b.Task)
+	}
+	bd.resources = bd.resources[:0]
+	for _, w := range bd.waits {
+		bd.resources = append(bd.resources, Resource{Phaser: w.phaser, Phase: w.phase})
+	}
+	nt := len(bd.tasks)
+	bd.g.Reset(nt + len(bd.resources))
+	for ti, b := range snap {
+		for _, r := range b.WaitsFor {
+			bd.g.AddEdge(ti, nt+bd.vertexOf(r))
+		}
+		for _, reg := range b.Regs {
+			lo, hi := bd.waitRange(reg.Phaser)
+			cut := lo + sort.Search(hi-lo, func(i int) bool {
+				return bd.waits[lo+i].phase > reg.Phase
+			})
+			for v := cut; v < hi; v++ {
+				bd.g.AddEdge(nt+v, ti)
+			}
+		}
+	}
+	bd.a = Analysis{Graph: &bd.g, Model: ModelGRG, Tasks: bd.tasks, Resources: bd.resources, scratch: &bd.sc}
+	return &bd.a
+}
+
+// BuildWFG constructs the Wait-For Graph of the snapshot (Definition 4.2)
+// with a fresh builder.
+func BuildWFG(snap []Blocked) *Analysis { return NewBuilder().Build(ModelWFG, snap) }
+
+// BuildSG constructs the State Graph of the snapshot (Definition 4.3) with
+// a fresh builder.
+func BuildSG(snap []Blocked) *Analysis { return NewBuilder().Build(ModelSG, snap) }
+
+// BuildGRG constructs the General Resource Graph of the snapshot
+// (Definition 4.4) with a fresh builder.
+func BuildGRG(snap []Blocked) *Analysis { return NewBuilder().Build(ModelGRG, snap) }
+
+// Build translates the snapshot under the requested model with a fresh
+// builder. Checkers that build repeatedly should hold a Builder instead.
+func Build(model Model, snap []Blocked) *Analysis { return NewBuilder().Build(model, snap) }
+
+// BuildAdaptive applies the adaptive policy with an explicit bail-out
+// threshold using a fresh builder.
+func BuildAdaptive(snap []Blocked, threshold int) *Analysis {
+	return NewBuilder().BuildAdaptive(snap, threshold)
 }
 
 // Cycle describes a deadlock found by cycle analysis, translated back from
@@ -221,9 +298,14 @@ type Cycle struct {
 // FindDeadlock runs cycle detection on the analysis and, when a cycle
 // exists, translates it into a Cycle report using the snapshot the analysis
 // was built from. It returns nil when the graph is acyclic (no deadlock —
-// sound and complete per Theorems 4.10 and 4.15).
+// sound and complete per Theorems 4.10 and 4.15). For builder-produced
+// analyses the acyclic path performs no allocations.
 func (a *Analysis) FindDeadlock(snap []Blocked) *Cycle {
-	return a.translateCycle(snap, a.Graph.FindCycle())
+	sc := a.scratch
+	if sc == nil {
+		sc = new(graph.Scratch)
+	}
+	return a.translateCycle(snap, a.Graph.FindCycleIn(sc))
 }
 
 // FindAllDeadlocks reports every independent deadlock: one Cycle per
@@ -250,17 +332,23 @@ func (a *Analysis) translateCycle(snap []Blocked, cyc []int) *Cycle {
 	c := &Cycle{Model: a.Model}
 	switch a.Model {
 	case ModelWFG:
+		// Index the snapshot once (task -> position) instead of scanning
+		// the whole snapshot per cycle vertex.
+		byTask := make(map[TaskID]int, len(snap))
+		for i, b := range snap {
+			byTask[b.Task] = i
+		}
 		resSet := make(map[Resource]bool)
 		for _, v := range cyc {
 			c.Tasks = append(c.Tasks, a.Tasks[v])
-			for _, b := range snap {
-				if b.Task == a.Tasks[v] {
-					for _, r := range b.WaitsFor {
-						if !resSet[r] {
-							resSet[r] = true
-							c.Resources = append(c.Resources, r)
-						}
-					}
+			i, ok := byTask[a.Tasks[v]]
+			if !ok {
+				continue
+			}
+			for _, r := range snap[i].WaitsFor {
+				if !resSet[r] {
+					resSet[r] = true
+					c.Resources = append(c.Resources, r)
 				}
 			}
 		}

@@ -18,8 +18,6 @@ package deps
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 )
 
 // TaskID names a task. IDs are assigned by the runtime (package core) and
@@ -55,66 +53,6 @@ type Blocked struct {
 	Task     TaskID
 	WaitsFor []Resource
 	Regs     []Reg
-}
-
-// State is the mutable, concurrency-safe collection of blocked statuses —
-// the resource-dependency state D = (I, W) of Definition 4.1, stored
-// per-task so that updates (the frequent operation) are O(1) and snapshots
-// (the infrequent operation) copy out a consistent view (§5.1).
-type State struct {
-	mu      sync.RWMutex
-	blocked map[TaskID]Blocked
-	version uint64
-}
-
-// NewState returns an empty resource-dependency state.
-func NewState() *State {
-	return &State{blocked: make(map[TaskID]Blocked)}
-}
-
-// SetBlocked records (or replaces) the blocked status of b.Task.
-func (s *State) SetBlocked(b Blocked) {
-	s.mu.Lock()
-	s.blocked[b.Task] = b
-	s.version++
-	s.mu.Unlock()
-}
-
-// Clear removes the blocked status of t (the task resumed).
-func (s *State) Clear(t TaskID) {
-	s.mu.Lock()
-	delete(s.blocked, t)
-	s.version++
-	s.mu.Unlock()
-}
-
-// Len returns the number of currently blocked tasks.
-func (s *State) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.blocked)
-}
-
-// Version returns a counter incremented on every mutation; the detection
-// loop uses it to skip re-analysis of an unchanged state.
-func (s *State) Version() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.version
-}
-
-// Snapshot returns a copy of all blocked statuses, sorted by task ID for
-// determinism. The contained slices are shared with the writers but are
-// treated as immutable after SetBlocked by convention.
-func (s *State) Snapshot() []Blocked {
-	s.mu.RLock()
-	out := make([]Blocked, 0, len(s.blocked))
-	for _, b := range s.blocked {
-		out = append(out, b)
-	}
-	s.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
-	return out
 }
 
 // Model identifies a graph representation for cycle analysis.

@@ -1,0 +1,397 @@
+package deps
+
+import (
+	"cmp"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the number of independent locks/maps the State is split
+// over (by TaskID). Power of two so the shard pick is a mask. 16 shards
+// keep SetBlocked/Clear contention negligible at 64+ concurrently blocking
+// tasks while keeping the all-shard read lock of a check cheap.
+const numShards = 16
+
+const (
+	// maxFreeEntries bounds the per-shard pool of recycled task entries.
+	maxFreeEntries = 1024
+	// maxSpareLists bounds the per-shard pools of recycled index lists.
+	maxSpareLists = 64
+)
+
+// State is the mutable, concurrency-safe collection of blocked statuses —
+// the resource-dependency state D = (I, W) of Definition 4.1. It is
+// sharded by TaskID so that updates (the frequent operation) contend only
+// on 1/numShards of the state, and each shard additionally maintains a
+// persistent per-phaser index of registrations and awaited events that is
+// updated in place by SetBlocked/Clear in O(|Regs|+|WaitsFor|) amortised
+// time. Checks (CycleThrough) read the index directly instead of
+// re-deriving it from a sorted snapshot.
+//
+// Blocked statuses are copied on write: the slices inside a Blocked passed
+// to SetBlocked are copied into shard-owned storage, and Snapshot copies
+// them back out, so callers on either side can never observe torn data
+// (the distributed publisher in package dist relies on this).
+type State struct {
+	version atomic.Uint64
+	count   atomic.Int64
+	shards  [numShards]stateShard
+}
+
+// stateShard is one lock's worth of state: the blocked statuses of the
+// tasks hashing to this shard plus the per-phaser index over exactly those
+// tasks. Entry and list storage is pooled so steady-state block/unblock
+// churn allocates nothing.
+type stateShard struct {
+	mu      sync.RWMutex
+	blocked map[TaskID]*taskEntry
+	// regs[q] lists (task, localPhase) for each blocked task of this shard
+	// registered with q: the incremental impedes index.
+	regs map[PhaserID][]regRef
+	// waits[q] lists the distinct phases of q awaited by this shard's
+	// blocked tasks, ascending, with a waiter refcount per phase.
+	waits map[PhaserID][]waitRef
+	// pools: cleared entries and emptied index lists, kept for reuse.
+	free   []*taskEntry
+	spareR [][]regRef
+	spareW [][]waitRef
+}
+
+// taskEntry owns the copied blocked status of one task. Its slices are
+// reused in place when the same task re-blocks.
+type taskEntry struct {
+	b Blocked
+}
+
+type regRef struct {
+	task  TaskID
+	phase int64
+}
+
+type waitRef struct {
+	phase int64
+	count int32
+}
+
+// NewState returns an empty resource-dependency state.
+func NewState() *State {
+	s := &State{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.blocked = make(map[TaskID]*taskEntry)
+		sh.regs = make(map[PhaserID][]regRef)
+		sh.waits = make(map[PhaserID][]waitRef)
+	}
+	return s
+}
+
+func (s *State) shardFor(t TaskID) *stateShard {
+	return &s.shards[uint64(t)&(numShards-1)]
+}
+
+// SetBlocked records (or replaces) the blocked status of b.Task. The
+// slices of b are copied; the caller keeps ownership of them.
+func (s *State) SetBlocked(b Blocked) {
+	sh := s.shardFor(b.Task)
+	sh.mu.Lock()
+	e, ok := sh.blocked[b.Task]
+	if ok {
+		sh.unindexLocked(e)
+	} else {
+		if n := len(sh.free); n > 0 {
+			e = sh.free[n-1]
+			sh.free = sh.free[:n-1]
+		} else {
+			e = new(taskEntry)
+		}
+		sh.blocked[b.Task] = e
+		s.count.Add(1)
+	}
+	e.b.Task = b.Task
+	e.b.WaitsFor = append(e.b.WaitsFor[:0], b.WaitsFor...)
+	e.b.Regs = append(e.b.Regs[:0], b.Regs...)
+	sh.indexLocked(e)
+	// Bump the version before releasing the lock: a version a reader
+	// observes must never lag a mutation that is already visible, or the
+	// version-keyed caches would serve stale verdicts.
+	s.version.Add(1)
+	sh.mu.Unlock()
+}
+
+// Clear removes the blocked status of t (the task resumed). Clearing an
+// absent task is a no-op.
+func (s *State) Clear(t TaskID) {
+	sh := s.shardFor(t)
+	sh.mu.Lock()
+	e, ok := sh.blocked[t]
+	if ok {
+		sh.unindexLocked(e)
+		delete(sh.blocked, t)
+		if len(sh.free) < maxFreeEntries {
+			sh.free = append(sh.free, e)
+		}
+		s.count.Add(-1)
+		s.version.Add(1) // under the lock: see SetBlocked
+	}
+	sh.mu.Unlock()
+}
+
+// Len returns the number of currently blocked tasks.
+func (s *State) Len() int { return int(s.count.Load()) }
+
+// Version returns a counter incremented on every mutation; the detection
+// loop uses it to skip re-analysis of an unchanged state.
+func (s *State) Version() uint64 { return s.version.Load() }
+
+// indexLocked adds e's registrations and awaited events to the shard's
+// per-phaser index. Caller holds sh.mu.
+func (sh *stateShard) indexLocked(e *taskEntry) {
+	for _, reg := range e.b.Regs {
+		list, ok := sh.regs[reg.Phaser]
+		if !ok && len(sh.spareR) > 0 {
+			list = sh.spareR[len(sh.spareR)-1]
+			sh.spareR = sh.spareR[:len(sh.spareR)-1]
+		}
+		sh.regs[reg.Phaser] = append(list, regRef{task: e.b.Task, phase: reg.Phase})
+	}
+	for _, r := range e.b.WaitsFor {
+		wl, ok := sh.waits[r.Phaser]
+		if !ok && len(sh.spareW) > 0 {
+			wl = sh.spareW[len(sh.spareW)-1]
+			sh.spareW = sh.spareW[:len(sh.spareW)-1]
+		}
+		i, found := searchWait(wl, r.Phase)
+		if found {
+			wl[i].count++
+		} else {
+			wl = slices.Insert(wl, i, waitRef{phase: r.Phase, count: 1})
+		}
+		sh.waits[r.Phaser] = wl
+	}
+}
+
+// unindexLocked removes e's registrations and awaited events from the
+// shard's index. Caller holds sh.mu; e must currently be indexed.
+func (sh *stateShard) unindexLocked(e *taskEntry) {
+	for _, reg := range e.b.Regs {
+		list := sh.regs[reg.Phaser]
+		for i := range list {
+			if list[i].task == e.b.Task && list[i].phase == reg.Phase {
+				last := len(list) - 1
+				list[i] = list[last]
+				list = list[:last]
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(sh.regs, reg.Phaser)
+			if list != nil && len(sh.spareR) < maxSpareLists {
+				sh.spareR = append(sh.spareR, list)
+			}
+		} else {
+			sh.regs[reg.Phaser] = list
+		}
+	}
+	for _, r := range e.b.WaitsFor {
+		wl := sh.waits[r.Phaser]
+		i, found := searchWait(wl, r.Phase)
+		if !found {
+			continue // unreachable: every indexed wait has an entry
+		}
+		wl[i].count--
+		if wl[i].count == 0 {
+			wl = slices.Delete(wl, i, i+1)
+		}
+		if len(wl) == 0 {
+			delete(sh.waits, r.Phaser)
+			if wl != nil && len(sh.spareW) < maxSpareLists {
+				sh.spareW = append(sh.spareW, wl)
+			}
+		} else {
+			sh.waits[r.Phaser] = wl
+		}
+	}
+}
+
+// searchWait binary-searches wl (sorted ascending by phase) for phase.
+func searchWait(wl []waitRef, phase int64) (int, bool) {
+	return slices.BinarySearchFunc(wl, phase, func(w waitRef, p int64) int {
+		return cmp.Compare(w.phase, p)
+	})
+}
+
+func (s *State) rlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+}
+
+func (s *State) runlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.RUnlock()
+	}
+}
+
+// Snapshot returns a deep copy of all blocked statuses, sorted by task ID
+// for determinism. The copy is consistent (all shards are read-locked for
+// its duration) and independent: later SetBlocked/Clear calls can never
+// mutate a returned snapshot.
+func (s *State) Snapshot() []Blocked {
+	return s.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot writing into buf (which is overwritten and may
+// be grown). The entries of buf — including their WaitsFor/Regs slices —
+// are reused, so a caller that snapshots periodically into the same buffer
+// allocates nothing once the buffer is warm.
+func (s *State) SnapshotInto(buf []Blocked) []Blocked {
+	out := buf[:0]
+	s.rlockAll()
+	for i := range s.shards {
+		for _, e := range s.shards[i].blocked {
+			var dst *Blocked
+			if len(out) < cap(out) {
+				out = out[:len(out)+1]
+				dst = &out[len(out)-1]
+			} else {
+				out = append(out, Blocked{})
+				dst = &out[len(out)-1]
+			}
+			dst.Task = e.b.Task
+			dst.WaitsFor = append(dst.WaitsFor[:0], e.b.WaitsFor...)
+			dst.Regs = append(dst.Regs[:0], e.b.Regs...)
+		}
+	}
+	s.runlockAll()
+	slices.SortFunc(out, func(a, b Blocked) int {
+		switch {
+		case a.Task < b.Task:
+			return -1
+		case a.Task > b.Task:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return out
+}
+
+// CycleScratch holds the reusable working set of CycleThrough. The zero
+// value is ready to use; it grows to the largest search it has seen and is
+// then reused allocation-free. Owned by one checker at a time.
+type CycleScratch struct {
+	stack   []TaskID
+	visited map[TaskID]struct{}
+	parent  map[TaskID]TaskID
+}
+
+// CycleThrough looks for a Wait-For-Graph cycle passing through task start
+// — the avoidance-mode gate query: a cycle created by start blocking must
+// pass through start, so nothing else needs to be searched. It reads the
+// incremental index directly (no snapshot, no graph build) and traverses
+// only the tasks reachable from start. The returned count is the number of
+// WFG edges examined, the targeted-check analogue of the edge-count
+// statistic of the full builders.
+//
+// The whole search runs under the read lock of every shard, so the view is
+// consistent; with sc warm the deadlock-free path performs no allocations.
+func (s *State) CycleThrough(start TaskID, sc *CycleScratch) (*Cycle, int) {
+	s.rlockAll()
+	defer s.runlockAll()
+	se := s.shardFor(start).blocked[start]
+	if se == nil {
+		return nil, 0
+	}
+	// Pre-filter: a cycle through start needs an edge INTO start — some
+	// blocked task awaiting an event start impedes. In the common case
+	// (start arrived, so it impedes only future phases nobody awaits yet)
+	// this rejects in O(|Regs| log) without touching the graph.
+	impeded := false
+	for _, reg := range se.b.Regs {
+		if s.anyWaiterAboveLocked(reg.Phaser, reg.Phase) {
+			impeded = true
+			break
+		}
+	}
+	if !impeded {
+		return nil, 0
+	}
+	if sc.visited == nil {
+		sc.visited = make(map[TaskID]struct{})
+		sc.parent = make(map[TaskID]TaskID)
+	}
+	clear(sc.visited)
+	clear(sc.parent)
+	sc.stack = append(sc.stack[:0], start)
+	sc.visited[start] = struct{}{}
+	edges := 0
+	for len(sc.stack) > 0 {
+		u := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		ue := s.shardFor(u).blocked[u]
+		if ue == nil {
+			continue // unreachable under the shard locks
+		}
+		for _, r := range ue.b.WaitsFor {
+			for si := range s.shards {
+				for _, ref := range s.shards[si].regs[r.Phaser] {
+					if ref.phase >= r.Phase {
+						continue
+					}
+					edges++
+					if ref.task == start {
+						return s.cycleFoundLocked(start, u, sc), edges
+					}
+					if _, seen := sc.visited[ref.task]; !seen {
+						sc.visited[ref.task] = struct{}{}
+						sc.parent[ref.task] = u
+						sc.stack = append(sc.stack, ref.task)
+					}
+				}
+			}
+		}
+	}
+	return nil, edges
+}
+
+// anyWaiterAboveLocked reports whether any blocked task awaits an event of
+// phaser q with a phase strictly greater than m. Caller holds all shard
+// read locks.
+func (s *State) anyWaiterAboveLocked(q PhaserID, m int64) bool {
+	for i := range s.shards {
+		wl := s.shards[i].waits[q]
+		if len(wl) > 0 && wl[len(wl)-1].phase > m {
+			return true
+		}
+	}
+	return false
+}
+
+// cycleFoundLocked translates the DFS tree path start -> ... -> last (plus
+// the closing edge last -> start) into a Cycle report. Runs on the
+// deadlock path only, so it allocates freely. Caller holds all shard read
+// locks.
+func (s *State) cycleFoundLocked(start, last TaskID, sc *CycleScratch) *Cycle {
+	var tasks []TaskID
+	for t := last; t != start; t = sc.parent[t] {
+		tasks = append(tasks, t)
+	}
+	tasks = append(tasks, start)
+	slices.Reverse(tasks)
+	c := &Cycle{Model: ModelWFG, Tasks: tasks}
+	seen := make(map[Resource]bool)
+	for _, t := range tasks {
+		e := s.shardFor(t).blocked[t]
+		if e == nil {
+			continue
+		}
+		for _, r := range e.b.WaitsFor {
+			if !seen[r] {
+				seen[r] = true
+				c.Resources = append(c.Resources, r)
+			}
+		}
+	}
+	return c
+}

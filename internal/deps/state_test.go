@@ -1,0 +1,213 @@
+package deps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// wfgCycleThrough is the reference oracle for CycleThrough: build the full
+// WFG and report whether the task's strongly connected component is cyclic.
+func wfgCycleThrough(snap []Blocked, task TaskID) bool {
+	a := BuildWFG(snap)
+	vertex := -1
+	for i, t := range a.Tasks {
+		if t == task {
+			vertex = i
+		}
+	}
+	if vertex < 0 {
+		return false
+	}
+	for _, comp := range a.Graph.SCCs() {
+		for _, v := range comp {
+			if v == vertex {
+				return len(comp) > 1 || a.Graph.HasEdge(vertex, vertex)
+			}
+		}
+	}
+	return false
+}
+
+// TestQuickCycleThroughAgreesWithWFG drives the incremental state exactly
+// like the avoidance gate does — insert one blocked status, ask for a cycle
+// through it, roll back on deadlock — and cross-checks every verdict
+// against a full WFG build over the tasks actually kept.
+func TestQuickCycleThroughAgreesWithWFG(t *testing.T) {
+	f := func(seed int64, rawN, rawK uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(rawN)%24 + 1
+		k := int(rawK)%8 + 1
+		snap := randomSnapshot(r, n, k)
+		s := NewState()
+		var sc CycleScratch
+		var kept []Blocked
+		for _, b := range snap {
+			s.SetBlocked(b)
+			cyc, _ := s.CycleThrough(b.Task, &sc)
+			ref := wfgCycleThrough(append(kept, b), b.Task)
+			if (cyc != nil) != ref {
+				t.Logf("task %d: targeted=%v reference=%v (kept=%d)",
+					b.Task, cyc != nil, ref, len(kept))
+				return false
+			}
+			if cyc == nil {
+				kept = append(kept, b)
+				continue
+			}
+			// Gate semantics: refuse the block and roll back.
+			s.Clear(b.Task)
+			// The reported cycle must pass through the blocking task and
+			// name only blocked tasks.
+			through := false
+			known := map[TaskID]bool{b.Task: true}
+			for _, kb := range kept {
+				known[kb.Task] = true
+			}
+			for _, tk := range cyc.Tasks {
+				if tk == b.Task {
+					through = true
+				}
+				if !known[tk] {
+					return false
+				}
+			}
+			if !through || len(cyc.Resources) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotImmutable: a snapshot must be a deep copy — re-blocking the
+// same task with different data (which reuses the state's internal entry
+// storage) may not mutate a snapshot taken earlier. This is the torn-data
+// guarantee the distributed publisher relies on.
+func TestSnapshotImmutable(t *testing.T) {
+	s := NewState()
+	s.SetBlocked(Blocked{
+		Task:     1,
+		WaitsFor: []Resource{{Phaser: 1, Phase: 1}},
+		Regs:     []Reg{{Phaser: 1, Phase: 0}, {Phaser: 2, Phase: 3}},
+	})
+	snap := s.Snapshot()
+	s.Clear(1)
+	s.SetBlocked(Blocked{ // reuses the pooled entry storage
+		Task:     1,
+		WaitsFor: []Resource{{Phaser: 9, Phase: 9}},
+		Regs:     []Reg{{Phaser: 9, Phase: 9}, {Phaser: 8, Phase: 8}},
+	})
+	if snap[0].WaitsFor[0] != (Resource{Phaser: 1, Phase: 1}) {
+		t.Fatalf("snapshot WaitsFor mutated by later SetBlocked: %+v", snap[0].WaitsFor)
+	}
+	if snap[0].Regs[0] != (Reg{Phaser: 1, Phase: 0}) || snap[0].Regs[1] != (Reg{Phaser: 2, Phase: 3}) {
+		t.Fatalf("snapshot Regs mutated by later SetBlocked: %+v", snap[0].Regs)
+	}
+}
+
+// TestSetBlockedCopiesCallerSlices: the caller keeps ownership of the
+// slices it passes in; mutating them afterwards may not leak into the
+// state.
+func TestSetBlockedCopiesCallerSlices(t *testing.T) {
+	s := NewState()
+	waits := []Resource{{Phaser: 1, Phase: 1}}
+	regs := []Reg{{Phaser: 1, Phase: 0}}
+	s.SetBlocked(Blocked{Task: 1, WaitsFor: waits, Regs: regs})
+	waits[0] = Resource{Phaser: 99, Phase: 99}
+	regs[0] = Reg{Phaser: 99, Phase: 99}
+	snap := s.Snapshot()
+	if snap[0].WaitsFor[0] != (Resource{Phaser: 1, Phase: 1}) {
+		t.Fatalf("caller mutation tore the stored status: %+v", snap[0].WaitsFor)
+	}
+	if snap[0].Regs[0] != (Reg{Phaser: 1, Phase: 0}) {
+		t.Fatalf("caller mutation tore the stored regs: %+v", snap[0].Regs)
+	}
+}
+
+// TestSnapshotIntoReuse: repeated snapshots into the same buffer return
+// consistent data and reuse the buffer's storage.
+func TestSnapshotIntoReuse(t *testing.T) {
+	s := NewState()
+	for i := 1; i <= 20; i++ {
+		s.SetBlocked(Blocked{
+			Task:     TaskID(i),
+			WaitsFor: []Resource{{Phaser: PhaserID(i), Phase: 1}},
+			Regs:     []Reg{{Phaser: PhaserID(i), Phase: 0}},
+		})
+	}
+	var buf []Blocked
+	buf = s.SnapshotInto(buf)
+	if len(buf) != 20 {
+		t.Fatalf("snapshot len = %d, want 20", len(buf))
+	}
+	s.Clear(7)
+	buf = s.SnapshotInto(buf)
+	if len(buf) != 19 {
+		t.Fatalf("snapshot len after clear = %d, want 19", len(buf))
+	}
+	for i, b := range buf {
+		if b.Task == 7 {
+			t.Fatal("cleared task still in snapshot")
+		}
+		if i > 0 && buf[i-1].Task >= b.Task {
+			t.Fatalf("snapshot not sorted: %d before %d", buf[i-1].Task, b.Task)
+		}
+		if len(b.WaitsFor) != 1 || b.WaitsFor[0].Phaser != PhaserID(b.Task) {
+			t.Fatalf("snapshot entry %d corrupted: %+v", i, b)
+		}
+	}
+}
+
+// TestCycleThroughSelfLoop: a task awaiting a future phase of a phaser it
+// is registered below deadlocks on itself; the targeted check must find
+// the self-loop.
+func TestCycleThroughSelfLoop(t *testing.T) {
+	s := NewState()
+	var sc CycleScratch
+	s.SetBlocked(Blocked{
+		Task:     1,
+		WaitsFor: []Resource{{Phaser: 7, Phase: 2}},
+		Regs:     []Reg{{Phaser: 7, Phase: 0}},
+	})
+	cyc, _ := s.CycleThrough(1, &sc)
+	if cyc == nil || len(cyc.Tasks) != 1 || cyc.Tasks[0] != 1 {
+		t.Fatalf("self-deadlock missed: %+v", cyc)
+	}
+}
+
+// TestCycleThroughExample41 replays the paper's running example through
+// the incremental path: the state is deadlocked and the driver t4 is the
+// last task to block.
+func TestCycleThroughExample41(t *testing.T) {
+	s := NewState()
+	var sc CycleScratch
+	snap := example41()
+	for _, b := range snap[:len(snap)-1] {
+		s.SetBlocked(b)
+		if cyc, _ := s.CycleThrough(b.Task, &sc); cyc != nil {
+			t.Fatalf("premature deadlock at task %d: %+v", b.Task, cyc)
+		}
+	}
+	last := snap[len(snap)-1]
+	s.SetBlocked(last)
+	cyc, edges := s.CycleThrough(last.Task, &sc)
+	if cyc == nil {
+		t.Fatal("Example 4.1 deadlock missed by targeted check")
+	}
+	if edges == 0 {
+		t.Fatal("no edges examined finding a cycle")
+	}
+	found := false
+	for _, tk := range cyc.Tasks {
+		if tk == last.Task {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cycle %v misses the blocking task", cyc.Tasks)
+	}
+}

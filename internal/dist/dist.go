@@ -103,8 +103,17 @@ type Site struct {
 
 	// pubMu serialises publishing against Close so a PublishOnce racing
 	// Close can never recreate the key Close just withdrew (the store
-	// client transparently redials, so closing it is not enough).
-	pubMu sync.Mutex
+	// client transparently redials, so closing it is not enough). It also
+	// owns snapBuf, the reusable snapshot buffer of the publish loop.
+	pubMu   sync.Mutex
+	snapBuf []deps.Blocked
+
+	// chkMu owns the check round's reusable merged-view buffer and graph
+	// builder, so the periodic global analysis does not re-allocate the
+	// local snapshot, index and graph every round.
+	chkMu   sync.Mutex
+	chkBuf  []deps.Blocked
+	builder *deps.Builder
 
 	mu      sync.Mutex
 	started bool
@@ -120,11 +129,12 @@ type Site struct {
 // loop is not running until Start.
 func NewSite(id int, addr string, opts ...Option) *Site {
 	s := &Site{
-		id:     id,
-		model:  deps.ModelAuto,
-		period: DefaultPeriod,
-		mode:   core.ModeObserve,
-		client: store.Dial(addr),
+		id:      id,
+		model:   deps.ModelAuto,
+		period:  DefaultPeriod,
+		mode:    core.ModeObserve,
+		client:  store.Dial(addr),
+		builder: deps.NewBuilder(),
 	}
 	for _, o := range opts {
 		o(s)
@@ -247,13 +257,17 @@ func fingerprint(c *deps.Cycle) string {
 // PublishOnce serialises the local blocked statuses and overwrites the
 // site's key in the store. One round of the publish half of the loop;
 // exported for tests and for applications that drive their own schedule.
+// Snapshots are deep copies (deps.State copies statuses on both write and
+// read), so a publish can never observe torn data from a concurrently
+// re-blocking task; the buffer is reused across rounds.
 func (s *Site) PublishOnce() error {
 	s.pubMu.Lock()
 	defer s.pubMu.Unlock()
 	if s.isClosed() {
 		return ErrSiteClosed
 	}
-	payload := encodeSnapshot(s.id, s.seq.Add(1), s.v.State().Snapshot())
+	s.snapBuf = s.v.State().SnapshotInto(s.snapBuf)
+	payload := encodeSnapshot(s.id, s.seq.Add(1), s.snapBuf)
 	if err := s.client.Set(s.key(), payload); err != nil {
 		s.stats.publishErrors.Add(1)
 		return err
@@ -271,12 +285,14 @@ func (s *Site) CheckOnce() (*core.DeadlockError, error) {
 	if s.isClosed() {
 		return nil, ErrSiteClosed
 	}
-	merged, err := s.fetchMerged()
+	s.chkMu.Lock()
+	defer s.chkMu.Unlock()
+	merged, err := s.fetchMergedLocked()
 	if err != nil {
 		s.stats.checkErrors.Add(1)
 		return nil, err
 	}
-	a := deps.Build(s.model, merged)
+	a := s.builder.Build(s.model, merged)
 	s.stats.checks.Add(1)
 	cyc := a.FindDeadlock(merged)
 	if cyc == nil {
@@ -285,12 +301,16 @@ func (s *Site) CheckOnce() (*core.DeadlockError, error) {
 	return s.newReport(cyc), nil
 }
 
-// fetchMerged assembles the global view: the live local state plus every
-// other site's published snapshot. The local state is used directly (it is
-// fresher than the published copy of it); globally unique task IDs make
-// the merge a plain concatenation.
-func (s *Site) fetchMerged() ([]deps.Blocked, error) {
-	merged := s.v.State().Snapshot()
+// fetchMergedLocked assembles the global view: the live local state plus
+// every other site's published snapshot. The local state is used directly
+// (it is fresher than the published copy of it); globally unique task IDs
+// make the merge a plain concatenation. Caller holds chkMu; the returned
+// slice is the reusable chkBuf (remote entries decoded last round are
+// overwritten in place, which is safe — nothing references them once the
+// round's analysis is done).
+func (s *Site) fetchMergedLocked() ([]deps.Blocked, error) {
+	merged := s.v.State().SnapshotInto(s.chkBuf)
+	defer func() { s.chkBuf = merged }()
 	keys, err := s.client.Keys(keyPrefix)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,12 @@
 // O(V+E), no recursion, so it is safe for the very deep graphs produced by
 // long dependency chains (e.g. the PS benchmark, where a WFG may contain a
 // single chain through hundreds of tasks).
+//
+// The hot-path entry points are allocation-free in steady state: Reset
+// reuses adjacency storage across builds, and the Tarjan/BFS working arrays
+// live in a caller-owned Scratch that is grown once and reused. FindCycleIn
+// additionally stops at the first cyclic SCC instead of computing all
+// components.
 package graph
 
 // Digraph is a directed graph over the vertex set [0, NumVertices).
@@ -15,11 +21,15 @@ package graph
 type Digraph struct {
 	adj   [][]int32
 	edges int
+	// selfLoop[v] records whether v -> v was added, so the self-loop
+	// queries issued per singleton SCC (FindAllDeadlocks) are O(1) instead
+	// of an adjacency scan.
+	selfLoop []bool
 }
 
 // New returns a digraph with n vertices and no edges.
 func New(n int) *Digraph {
-	return &Digraph{adj: make([][]int32, n)}
+	return &Digraph{adj: make([][]int32, n), selfLoop: make([]bool, n)}
 }
 
 // NumVertices returns the number of vertices in the graph.
@@ -31,25 +41,56 @@ func (g *Digraph) NumEdges() int { return g.edges }
 // AddVertex appends a fresh vertex and returns its index.
 func (g *Digraph) AddVertex() int {
 	g.adj = append(g.adj, nil)
+	g.selfLoop = append(g.selfLoop, false)
 	return len(g.adj) - 1
 }
 
 // Grow ensures the graph has at least n vertices.
 func (g *Digraph) Grow(n int) {
-	for len(g.adj) < n {
-		g.adj = append(g.adj, nil)
+	if n <= len(g.adj) {
+		return
 	}
+	g.adj = append(g.adj, make([][]int32, n-len(g.adj))...)
+	g.selfLoop = append(g.selfLoop, make([]bool, n-len(g.selfLoop))...)
+}
+
+// Reset re-dimensions the graph to n vertices and no edges while keeping
+// the adjacency storage of earlier builds, so a graph that is rebuilt per
+// check (the detection loop) allocates nothing once warm.
+func (g *Digraph) Reset(n int) {
+	g.edges = 0
+	if n <= cap(g.adj) {
+		g.adj = g.adj[:n]
+	} else {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]int32, n-cap(g.adj))...)
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	if n <= cap(g.selfLoop) {
+		g.selfLoop = g.selfLoop[:n]
+	} else {
+		g.selfLoop = append(g.selfLoop[:cap(g.selfLoop)], make([]bool, n-cap(g.selfLoop))...)
+	}
+	clear(g.selfLoop)
 }
 
 // AddEdge adds the directed edge u -> v. Both endpoints must already exist.
 // Parallel edges are permitted; they do not affect cycle detection.
 func (g *Digraph) AddEdge(u, v int) {
 	g.adj[u] = append(g.adj[u], int32(v))
+	if u == v {
+		g.selfLoop[u] = true
+	}
 	g.edges++
 }
 
-// HasEdge reports whether the edge u -> v is present.
+// HasEdge reports whether the edge u -> v is present. Self-loop queries
+// (u == v) are O(1).
 func (g *Digraph) HasEdge(u, v int) bool {
+	if u == v {
+		return g.selfLoop[u]
+	}
 	for _, w := range g.adj[u] {
 		if int(w) == v {
 			return true
@@ -79,83 +120,142 @@ type tarjanFrame struct {
 	next int32 // index of the next successor to visit
 }
 
+// Scratch holds the working arrays of the cycle-detection passes. A zero
+// Scratch is ready to use; it grows to the largest graph it has seen and is
+// then reused allocation-free. A Scratch is owned by one caller at a time
+// (it is not safe for concurrent use).
+type Scratch struct {
+	index   []int32
+	low     []int32
+	onStack []bool
+	stack   []int32
+	frames  []tarjanFrame
+	comp    []int32
+	// cycleWithin working set (dense, vertex-indexed).
+	inComp []bool
+	parent []int32
+	queue  []int32
+}
+
+// grow sizes the vertex-indexed arrays for an n-vertex graph.
+func (sc *Scratch) grow(n int) {
+	if cap(sc.index) < n {
+		sc.index = make([]int32, n)
+		sc.low = make([]int32, n)
+		sc.onStack = make([]bool, n)
+		sc.inComp = make([]bool, n)
+		sc.parent = make([]int32, n)
+	}
+	sc.index = sc.index[:n]
+	sc.low = sc.low[:n]
+	sc.onStack = sc.onStack[:n]
+	sc.inComp = sc.inComp[:n]
+	sc.parent = sc.parent[:n]
+}
+
+// sccPass is the iterative Tarjan core shared by SCCs, FirstCyclicSCC and
+// FindCycleIn. With collect non-nil every component is appended to
+// *collect (standard Tarjan emission order, reverse topological) and nil is
+// returned. With collect nil the pass stops at the first CYCLIC component
+// (size > 1, or a singleton with a self-loop) and returns it; the returned
+// slice aliases sc.comp and is valid until the scratch is reused.
+func (g *Digraph) sccPass(sc *Scratch, collect *[][]int) []int32 {
+	n := len(g.adj)
+	const unvisited = -1
+	sc.grow(n)
+	for i := 0; i < n; i++ {
+		sc.index[i] = unvisited
+		sc.onStack[i] = false
+	}
+	sc.stack = sc.stack[:0]
+	var counter int32
+	for root := 0; root < n; root++ {
+		if sc.index[root] != unvisited {
+			continue
+		}
+		sc.frames = append(sc.frames[:0], tarjanFrame{v: int32(root)})
+		sc.index[root] = counter
+		sc.low[root] = counter
+		counter++
+		sc.stack = append(sc.stack, int32(root))
+		sc.onStack[root] = true
+		for len(sc.frames) > 0 {
+			f := &sc.frames[len(sc.frames)-1]
+			v := f.v
+			if int(f.next) < len(g.adj[v]) {
+				w := g.adj[v][f.next]
+				f.next++
+				if sc.index[w] == unvisited {
+					sc.index[w] = counter
+					sc.low[w] = counter
+					counter++
+					sc.stack = append(sc.stack, w)
+					sc.onStack[w] = true
+					sc.frames = append(sc.frames, tarjanFrame{v: w})
+				} else if sc.onStack[w] && sc.index[w] < sc.low[v] {
+					sc.low[v] = sc.index[w]
+				}
+				continue
+			}
+			// All successors of v processed: maybe emit a component.
+			if sc.low[v] == sc.index[v] {
+				sc.comp = sc.comp[:0]
+				for {
+					w := sc.stack[len(sc.stack)-1]
+					sc.stack = sc.stack[:len(sc.stack)-1]
+					sc.onStack[w] = false
+					sc.comp = append(sc.comp, w)
+					if w == v {
+						break
+					}
+				}
+				if collect != nil {
+					c := make([]int, len(sc.comp))
+					for i, w := range sc.comp {
+						c[i] = int(w)
+					}
+					*collect = append(*collect, c)
+				} else if len(sc.comp) > 1 || g.selfLoop[v] {
+					return sc.comp
+				}
+			}
+			sc.frames = sc.frames[:len(sc.frames)-1]
+			if len(sc.frames) > 0 {
+				p := sc.frames[len(sc.frames)-1].v
+				if sc.low[v] < sc.low[p] {
+					sc.low[p] = sc.low[v]
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // SCCs computes the strongly connected components of g using an iterative
 // Tarjan pass. Components are returned in reverse topological order
 // (standard Tarjan emission order). Singleton components without a self-loop
 // are included; use HasCycle/FindCycle for deadlock queries.
 func (g *Digraph) SCCs() [][]int {
-	n := len(g.adj)
-	const unvisited = -1
-	index := make([]int32, n)
-	low := make([]int32, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = unvisited
-	}
-	var (
-		counter int32
-		stack   []int32
-		frames  []tarjanFrame
-		out     [][]int
-	)
-	for root := 0; root < n; root++ {
-		if index[root] != unvisited {
-			continue
-		}
-		frames = append(frames[:0], tarjanFrame{v: int32(root)})
-		index[root] = counter
-		low[root] = counter
-		counter++
-		stack = append(stack, int32(root))
-		onStack[root] = true
-		for len(frames) > 0 {
-			f := &frames[len(frames)-1]
-			v := f.v
-			if int(f.next) < len(g.adj[v]) {
-				w := g.adj[v][f.next]
-				f.next++
-				if index[w] == unvisited {
-					index[w] = counter
-					low[w] = counter
-					counter++
-					stack = append(stack, w)
-					onStack[w] = true
-					frames = append(frames, tarjanFrame{v: w})
-				} else if onStack[w] && index[w] < low[v] {
-					low[v] = index[w]
-				}
-				continue
-			}
-			// All successors of v processed: maybe emit a component.
-			if low[v] == index[v] {
-				var comp []int
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp = append(comp, int(w))
-					if w == v {
-						break
-					}
-				}
-				out = append(out, comp)
-			}
-			frames = frames[:len(frames)-1]
-			if len(frames) > 0 {
-				p := frames[len(frames)-1].v
-				if low[v] < low[p] {
-					low[p] = low[v]
-				}
-			}
-		}
-	}
+	var sc Scratch
+	var out [][]int
+	g.sccPass(&sc, &out)
 	return out
+}
+
+// FirstCyclicSCC returns the first cyclic strongly connected component
+// found (a component of size > 1, or a singleton with a self-loop), or nil
+// when the graph is acyclic. Unlike SCCs it stops as soon as a cyclic
+// component is emitted. The returned slice aliases sc and is valid until
+// the scratch is reused.
+func (g *Digraph) FirstCyclicSCC(sc *Scratch) []int32 {
+	return g.sccPass(sc, nil)
 }
 
 // HasCycle reports whether g contains a directed cycle (including
 // self-loops).
 func (g *Digraph) HasCycle() bool {
-	return g.FindCycle() != nil
+	var sc Scratch
+	return g.sccPass(&sc, nil) != nil
 }
 
 // FindCycle returns one directed cycle of g as a vertex sequence
@@ -164,58 +264,75 @@ func (g *Digraph) HasCycle() bool {
 // cyclic SCC found (BFS inside the component), which keeps deadlock reports
 // small and readable.
 func (g *Digraph) FindCycle() []int {
-	for _, comp := range g.SCCs() {
-		if len(comp) == 1 {
-			v := comp[0]
-			if g.HasEdge(v, v) {
-				return []int{v}
-			}
-			continue
-		}
-		return g.cycleWithin(comp)
-	}
-	return nil
+	var sc Scratch
+	return g.FindCycleIn(&sc)
 }
 
-// cycleWithin finds a cycle restricted to the vertices of a (cyclic) SCC.
-func (g *Digraph) cycleWithin(comp []int) []int {
-	in := make(map[int32]bool, len(comp))
-	for _, v := range comp {
-		in[int32(v)] = true
+// FindCycleIn is FindCycle with caller-owned scratch: when the graph is
+// acyclic it performs no allocations (after the scratch is warm), and when
+// it is cyclic it stops at the first cyclic SCC instead of computing all
+// components. Only the returned cycle is freshly allocated.
+func (g *Digraph) FindCycleIn(sc *Scratch) []int {
+	comp := g.sccPass(sc, nil)
+	if comp == nil {
+		return nil
 	}
-	start := int32(comp[0])
+	if len(comp) == 1 {
+		return []int{int(comp[0])} // self-loop (guaranteed by sccPass)
+	}
+	return g.cycleWithin(sc, comp)
+}
+
+// cycleWithin finds a shortest cycle through comp[0] restricted to the
+// vertices of a (cyclic) SCC, using the dense vertex-indexed parent and
+// membership arrays of sc (no per-call maps).
+func (g *Digraph) cycleWithin(sc *Scratch, comp []int32) []int {
+	const unseen = -2
+	for _, v := range comp {
+		sc.inComp[v] = true
+		sc.parent[v] = unseen
+	}
+	start := comp[0]
+	sc.parent[start] = -1
+	sc.queue = append(sc.queue[:0], start)
+	var cyc []int
 	// BFS from start inside the component, recording parents; the first
 	// edge that returns to start closes a shortest cycle through start.
-	parent := make(map[int32]int32, len(comp))
-	parent[start] = -1
-	queue := []int32{start}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+scan:
+	for qi := 0; qi < len(sc.queue); qi++ {
+		v := sc.queue[qi]
 		for _, w := range g.adj[v] {
-			if !in[w] {
+			if !sc.inComp[w] {
 				continue
 			}
 			if w == start {
 				// Reconstruct start -> ... -> v, closing edge v -> start.
-				var rev []int
-				for u := v; u != -1; u = parent[u] {
-					rev = append(rev, int(u))
+				for u := v; u != -1; u = sc.parent[u] {
+					cyc = append(cyc, int(u))
 				}
-				// rev is v..start; reverse to start..v.
-				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-					rev[i], rev[j] = rev[j], rev[i]
+				// cyc is v..start; reverse to start..v.
+				for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+					cyc[i], cyc[j] = cyc[j], cyc[i]
 				}
-				return rev
+				break scan
 			}
-			if _, seen := parent[w]; !seen {
-				parent[w] = v
-				queue = append(queue, w)
+			if sc.parent[w] == unseen {
+				sc.parent[w] = v
+				sc.queue = append(sc.queue, w)
 			}
 		}
 	}
-	// Unreachable for a genuine SCC of size >= 2.
-	return comp
+	for _, v := range comp {
+		sc.inComp[v] = false
+	}
+	if cyc == nil {
+		// Unreachable for a genuine SCC of size >= 2.
+		cyc = make([]int, len(comp))
+		for i, v := range comp {
+			cyc[i] = int(v)
+		}
+	}
+	return cyc
 }
 
 // Transpose returns the reverse graph of g.

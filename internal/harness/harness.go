@@ -92,11 +92,13 @@ func MeasureLocal(samples int, mode core.Mode, model deps.Model, period time.Dur
 	return m, nil
 }
 
-// Table is a printable result table.
+// Table is a printable result table. The json tags fix the schema of
+// armus-bench -json output (and the archived BENCH_*.json entries built
+// from it).
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // Fprint renders the table with aligned columns.
