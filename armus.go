@@ -5,6 +5,7 @@ import (
 
 	"armus/internal/accum"
 	"armus/internal/barrier"
+	"armus/internal/clock"
 	"armus/internal/clocked"
 	"armus/internal/core"
 	"armus/internal/deps"
@@ -115,6 +116,22 @@ func WithPeriod(d time.Duration) Option { return core.WithPeriod(d) }
 // WithOnDeadlock installs the detection-mode report handler.
 func WithOnDeadlock(f func(*DeadlockError)) Option { return core.WithOnDeadlock(f) }
 
+// ClockSource is the injectable ticker source driving the periodic
+// verification loops (not to be confused with Clock, the X10 barrier);
+// FakeClock is the manually stepped test implementation.
+type (
+	ClockSource = clock.Clock
+	FakeClock   = clock.Fake
+)
+
+// NewFakeClock returns a manually driven clock source: each Tick delivers
+// exactly one scan/publish round to every loop using it, synchronously, so
+// tests step the detector instead of sleeping through periods.
+func NewFakeClock() *FakeClock { return clock.NewFake() }
+
+// WithClock injects the clock source driving the detection loop.
+func WithClock(c ClockSource) Option { return core.WithClock(c) }
+
 // WithIDBase offsets all minted IDs (for distributed sites).
 func WithIDBase(base int64) Option { return core.WithIDBase(base) }
 
@@ -197,6 +214,10 @@ func WithSitePeriod(d time.Duration) SiteOption { return dist.WithPeriod(d) }
 func WithSiteOnDeadlock(f func(*DeadlockError)) SiteOption {
 	return dist.WithOnDeadlock(f)
 }
+
+// WithSiteClock injects the clock source driving the site's publish/check
+// loop.
+func WithSiteClock(c ClockSource) SiteOption { return dist.WithClock(c) }
 
 // NewStoreServer starts a store server on addr (e.g. "127.0.0.1:0").
 func NewStoreServer(addr string) (*StoreServer, error) { return store.NewServer(addr) }

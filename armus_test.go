@@ -166,3 +166,48 @@ func TestVerifierGoFacade(t *testing.T) {
 		t.Fatal("false deadlock")
 	}
 }
+
+// TestFakeClockFacade steps a detection-mode verifier through the public
+// fake-clock API: a deadlocked pair must be reported by one settled scan,
+// with no real-time periods involved.
+func TestFakeClockFacade(t *testing.T) {
+	found := make(chan *armus.DeadlockError, 1)
+	fc := armus.NewFakeClock()
+	v := armus.New(armus.WithMode(armus.ModeDetect), armus.WithClock(fc),
+		armus.WithOnDeadlock(func(e *armus.DeadlockError) {
+			select {
+			case found <- e:
+			default:
+			}
+		}))
+	defer v.Close()
+	main := v.NewTask("main")
+	p := v.NewPhaser(main)
+	w := v.NewTask("w")
+	if err := p.Register(main, w); err != nil {
+		t.Fatal(err)
+	}
+	// Both parties await the next phase without arriving: each impedes the
+	// other's await — a 2-cycle.
+	go func() { _ = p.AwaitPhase(w, 1) }()
+	go func() { _ = p.AwaitPhase(main, 1) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for v.State().Len() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("tasks never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fc.Round()
+	select {
+	case e := <-found:
+		if len(e.Cycle.Tasks) != 2 {
+			t.Fatalf("cycle = %+v", e.Cycle)
+		}
+	default:
+		t.Fatal("settled scan did not report")
+	}
+	// Recovery: drop both parties so Close leaves nothing parked.
+	main.Terminate()
+	w.Terminate()
+}

@@ -46,6 +46,7 @@ func main() {
 		sites        = flag.Int("sites", 4, "number of sites for figure 7")
 		tasksPerSite = flag.Int("tasks-per-site", 4, "tasks per site for figure 7")
 		period       = flag.Duration("period", 100*time.Millisecond, "detection scan period")
+		schedules    = flag.Int("schedules", 500, "seeded schedules per pipeline for the explore experiment")
 		asJSON       = flag.Bool("json", false, "emit results as JSON on stdout instead of text tables")
 	)
 	flag.Parse()
@@ -68,6 +69,7 @@ func main() {
 		Sites:        *sites,
 		TasksPerSite: *tasksPerSite,
 		DetectPeriod: *period,
+		Schedules:    *schedules,
 	}
 
 	experiments := harness.Experiments()

@@ -1,0 +1,146 @@
+// Package clock abstracts the tickers that drive the periodic
+// verification loops (core's detection scan, dist's publish/check round)
+// behind an injectable interface, so tests can step those loops
+// deterministically instead of sleeping real time.
+//
+// Production code uses Real, which delegates to time.NewTicker. Tests use
+// Fake, whose Tick method hand-delivers one tick to every live ticker
+// synchronously: when Tick returns, every loop has RECEIVED the tick and is
+// running (or has finished) its round. Because a loop only comes back to
+// its ticker channel after the round completes, a second Tick doubles as a
+// barrier: when it returns, the round triggered by the first Tick is done.
+// That double-tick idiom is how the converted tests assert "the detector
+// has definitely scanned the current state" without a single time.Sleep.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a source of tickers. It is the only part of the time API the
+// verification loops use.
+type Clock interface {
+	// NewTicker returns a ticker firing every d (for Fake clocks, whenever
+	// Tick is called; d is ignored).
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the delivered-tick side of a ticker.
+type Ticker interface {
+	// C returns the tick channel.
+	C() <-chan time.Time
+	// Stop releases the ticker. The channel is not closed.
+	Stop()
+}
+
+// Real is the production clock: NewTicker is time.NewTicker.
+type Real struct{}
+
+type realTicker struct{ t *time.Ticker }
+
+// NewTicker returns a real time.Ticker-backed ticker.
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+func (rt realTicker) C() <-chan time.Time { return rt.t.C }
+func (rt realTicker) Stop()               { rt.t.Stop() }
+
+// Fake is a manually driven clock. Ticks are delivered only by Tick, each
+// as a blocking (rendezvous) send, which is what makes the loops it drives
+// steppable: no tick is ever dropped or coalesced, and delivery order is
+// the ticker registration order.
+//
+// Contract: do not call Tick concurrently with stopping the loop that owns
+// a ticker (e.g. Verifier.Close / Site.Close) — a tick sent to a loop that
+// has already exited would block forever. Tests tick, then close.
+type Fake struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tickers []*fakeTicker
+	now     time.Time
+}
+
+type fakeTicker struct {
+	f       *Fake
+	ch      chan time.Time
+	stopped bool
+}
+
+// NewFake returns a Fake clock with no tickers.
+func NewFake() *Fake {
+	f := &Fake{now: time.Unix(1_000_000, 0)}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// NewTicker registers a new steppable ticker; d is ignored.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tk := &fakeTicker{f: f, ch: make(chan time.Time)}
+	f.tickers = append(f.tickers, tk)
+	f.cond.Broadcast()
+	return tk
+}
+
+func (tk *fakeTicker) C() <-chan time.Time { return tk.ch }
+
+func (tk *fakeTicker) Stop() {
+	tk.f.mu.Lock()
+	defer tk.f.mu.Unlock()
+	tk.stopped = true
+}
+
+// WaitTickers blocks until at least n live tickers exist — the start-up
+// barrier for tests driving several loops (e.g. a cluster of sites) from
+// one Fake, so an early Tick cannot miss a loop that has not started yet.
+func (f *Fake) WaitTickers(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.liveLocked() < n {
+		f.cond.Wait()
+	}
+}
+
+func (f *Fake) liveLocked() int {
+	live := 0
+	for _, tk := range f.tickers {
+		if !tk.stopped {
+			live++
+		}
+	}
+	return live
+}
+
+// Tick delivers one tick to every live ticker, blocking until each
+// delivery has been received. If no ticker exists yet it first waits for
+// one (so Tick immediately after starting a loop cannot race its ticker
+// creation). When Tick returns, every driven loop has entered the round
+// this tick triggered; a second Tick additionally guarantees that round
+// has completed (see the package comment).
+func (f *Fake) Tick() {
+	f.mu.Lock()
+	for f.liveLocked() == 0 {
+		f.cond.Wait()
+	}
+	f.now = f.now.Add(time.Second)
+	now := f.now
+	live := make([]*fakeTicker, 0, len(f.tickers))
+	for _, tk := range f.tickers {
+		if !tk.stopped {
+			live = append(live, tk)
+		}
+	}
+	f.mu.Unlock()
+	for _, tk := range live {
+		tk.ch <- now
+	}
+}
+
+// Round is the double-tick barrier: it returns once every loop driven by
+// this clock has completed at least one full round observing the state as
+// of the call. Equivalent to Tick();Tick().
+func (f *Fake) Round() {
+	f.Tick()
+	f.Tick()
+}

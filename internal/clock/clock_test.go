@@ -1,0 +1,132 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealTickerTicks(t *testing.T) {
+	tk := Real{}.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real ticker never ticked")
+	}
+}
+
+// TestFakeTickIsSynchronous: Tick must not return before the consumer has
+// received the tick, and a second Tick must not return before the work
+// between receives is done — the double-tick barrier the converted loop
+// tests rely on.
+func TestFakeTickIsSynchronous(t *testing.T) {
+	f := NewFake()
+	var rounds atomic.Int32
+	done := make(chan struct{})
+	started := make(chan Ticker, 1)
+	go func() {
+		tk := f.NewTicker(time.Hour)
+		started <- tk
+		for i := 0; i < 2; i++ {
+			<-tk.C()
+			rounds.Add(1) // the loop's "round"
+		}
+		close(done)
+	}()
+	f.Tick()
+	f.Tick() // returns only after round 1 completed (loop back at receive)
+	if got := rounds.Load(); got < 1 {
+		t.Fatalf("rounds = %d after double tick, want >= 1", got)
+	}
+	<-done
+	(<-started).Stop()
+}
+
+// TestFakeTickWaitsForTicker: a Tick issued before any loop has created
+// its ticker must wait for the registration, not panic or drop the tick.
+func TestFakeTickWaitsForTicker(t *testing.T) {
+	f := NewFake()
+	got := make(chan time.Time, 1)
+	go func() {
+		time.Sleep(10 * time.Millisecond) // ticker shows up late
+		tk := f.NewTicker(time.Hour)
+		got <- <-tk.C()
+	}()
+	f.Tick() // must block until the ticker exists, then deliver
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("late ticker never received the tick")
+	}
+}
+
+func TestFakeStoppedTickerSkipped(t *testing.T) {
+	f := NewFake()
+	dead := f.NewTicker(time.Hour)
+	dead.Stop()
+	live := f.NewTicker(time.Hour)
+	go f.Tick()
+	select {
+	case <-live.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("live ticker starved by a stopped one")
+	}
+}
+
+func TestWaitTickers(t *testing.T) {
+	f := NewFake()
+	ready := make(chan struct{})
+	go func() {
+		f.WaitTickers(2)
+		close(ready)
+	}()
+	f.NewTicker(time.Hour)
+	select {
+	case <-ready:
+		t.Fatal("WaitTickers(2) returned with one ticker")
+	case <-time.After(10 * time.Millisecond):
+	}
+	f.NewTicker(time.Hour)
+	select {
+	case <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitTickers(2) never returned")
+	}
+}
+
+// TestFakeDrivesManyTickers mirrors the cluster use: one Fake stepping
+// several loops in lockstep.
+func TestFakeDrivesManyTickers(t *testing.T) {
+	f := NewFake()
+	const n = 3
+	counts := make(chan int, n*2)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			tk := f.NewTicker(time.Hour)
+			defer tk.Stop()
+			for j := 0; j < 2; j++ {
+				<-tk.C()
+				counts <- i
+			}
+		}()
+	}
+	f.WaitTickers(n)
+	f.Tick()
+	f.Tick()
+	seen := map[int]int{}
+	for i := 0; i < n*2; i++ {
+		select {
+		case id := <-counts:
+			seen[id]++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d ticks observed", i, n*2)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if seen[i] != 2 {
+			t.Fatalf("loop %d saw %d ticks, want 2", i, seen[i])
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"armus/internal/clock"
 	"armus/internal/deps"
 )
 
@@ -347,10 +348,13 @@ func TestAvoidanceCatchesRunningExample(t *testing.T) {
 }
 
 // TestDetectionCatchesRunningExample runs the same buggy program in
-// detection mode and waits for the background report.
+// detection mode with the scan loop stepped by a fake clock: once every
+// task is blocked, one settled scan must deliver the report — no periods,
+// no report-wait timeout.
 func TestDetectionCatchesRunningExample(t *testing.T) {
-	found := make(chan *DeadlockError, 1)
-	v := New(WithMode(ModeDetect), WithPeriod(2*time.Millisecond),
+	found := make(chan *DeadlockError, 4)
+	fc := clock.NewFake()
+	v := New(WithMode(ModeDetect), WithClock(fc),
 		WithOnDeadlock(func(e *DeadlockError) {
 			select {
 			case found <- e:
@@ -378,13 +382,15 @@ func TestDetectionCatchesRunningExample(t *testing.T) {
 		_, _ = pb.Arrive(main)
 		_ = pb.AwaitAdvance(main) // sticks: workers never deregister
 	}()
+	waitBlocked(t, v, I+1)
+	fc.Round() // one completed scan over the fully blocked state
 	select {
 	case e := <-found:
 		if len(e.Cycle.Tasks) < 2 {
 			t.Fatalf("cycle too small: %+v", e.Cycle)
 		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("detector never reported the deadlock")
+	default:
+		t.Fatal("settled scan did not report the deadlock")
 	}
 	// Recover so Close doesn't leave goroutines blocked forever.
 	main.Terminate()

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"armus/internal/clock"
 	"armus/internal/deps"
 )
 
@@ -73,6 +74,7 @@ type Verifier struct {
 	mode   Mode
 	model  deps.Model
 	period time.Duration
+	clock  clock.Clock
 
 	state *deps.State
 	// checkMu serialises avoidance-mode checks so that two tasks racing
@@ -124,6 +126,11 @@ func WithModel(m deps.Model) Option { return func(v *Verifier) { v.model = m } }
 // WithPeriod sets the detection-mode scan period (default DefaultPeriod).
 func WithPeriod(d time.Duration) Option { return func(v *Verifier) { v.period = d } }
 
+// WithClock injects the clock driving the detection loop (default the real
+// time.Ticker clock). Tests pass a *clock.Fake and step the detector
+// deterministically instead of sleeping through scan periods.
+func WithClock(c clock.Clock) Option { return func(v *Verifier) { v.clock = c } }
+
 // WithOnDeadlock installs the detection-mode report handler. The default
 // handler logs the report. The handler runs on the detector goroutine.
 func WithOnDeadlock(f func(*DeadlockError)) Option {
@@ -143,6 +150,7 @@ func New(opts ...Option) *Verifier {
 		mode:    ModeDetect,
 		model:   deps.ModelAuto,
 		period:  DefaultPeriod,
+		clock:   clock.Real{},
 		state:   deps.NewState(),
 		builder: deps.NewBuilder(),
 		names:   make(map[deps.TaskID]string),
@@ -196,7 +204,7 @@ func (v *Verifier) Close() {
 // is reported once.
 func (v *Verifier) detectLoop() {
 	defer close(v.detectDone)
-	ticker := time.NewTicker(v.period)
+	ticker := v.clock.NewTicker(v.period)
 	defer ticker.Stop()
 	var lastVersion uint64
 	var reportedVersion uint64
@@ -205,7 +213,7 @@ func (v *Verifier) detectLoop() {
 		select {
 		case <-v.detectStop:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 		}
 		ver := v.state.Version()
 		if !first && ver == lastVersion {
@@ -291,12 +299,28 @@ func (v *Verifier) avoidCheck(b deps.Blocked) *deps.Cycle {
 				v.stats.deadlocks.Add(1)
 				// A refresh racing in after the targeted search could in
 				// principle close a cycle through b.Task itself: refuse
-				// the block then, exactly like the direct verdict.
-				for _, t := range full.Tasks {
-					if t == b.Task {
-						v.state.Clear(b.Task)
-						return full
+				// the block then, exactly like the direct verdict. The
+				// membership test must be the exact targeted query — the
+				// full report's task list over-approximates under the SG
+				// model (it includes tasks merely WAITING on the cycle),
+				// and rejecting one of those would refuse a block that
+				// creates no cycle.
+				if recyc, re := v.state.CycleThrough(b.Task, &v.avoidScratch); recyc != nil {
+					v.recordTargetedCheck(re)
+					v.state.Clear(b.Task)
+					// A distinct deadlock may persist after the rollback.
+					// full cannot tell us: it was computed with b inserted,
+					// so it may describe b's own (now avoided) cycle, and
+					// under the SG model its task list also includes mere
+					// waiters. Re-scan the rolled-back state and report
+					// exactly what remains standing.
+					if rest := v.runCheck(); rest != nil {
+						// Two deadlock events on this path — the rejection
+						// and the persisting report — so a second count.
+						v.stats.deadlocks.Add(1)
+						v.onDeadlock(v.newDeadlockError(rest))
 					}
+					return recyc
 				}
 				// The cycle is elsewhere: report it and let this task
 				// block (it is not part of the deadlock).

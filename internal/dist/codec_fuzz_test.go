@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"testing"
+
+	"armus/internal/deps"
+)
+
+// FuzzSnapshotCodec feeds arbitrary bytes to the snapshot decoder. Two
+// properties must hold on every input:
+//
+//  1. corrupt input never panics and never over-allocates — it returns an
+//     error (the caller drops the snapshot and counts it), and
+//  2. whatever decodes successfully re-encodes to a payload that decodes
+//     to the same snapshot (encode∘decode is a fixpoint; byte equality is
+//     NOT required because varints accept non-minimal forms on input).
+//
+// The seed corpus under testdata/fuzz/FuzzSnapshotCodec holds valid
+// payloads of every shape the publisher produces plus the corrupt variants
+// the unit tests enumerate; CI runs a short fuzz-smoke over it on every
+// PR.
+func FuzzSnapshotCodec(f *testing.F) {
+	seeds := [][]deps.Blocked{
+		nil,
+		{{Task: 1}},
+		{{
+			Task:     deps.TaskID(3<<SiteIDShift + 7),
+			WaitsFor: []deps.Resource{{Phaser: 3<<SiteIDShift + 1, Phase: 4}},
+			Regs: []deps.Reg{
+				{Phaser: 3<<SiteIDShift + 1, Phase: 4},
+				{Phaser: 5<<SiteIDShift + 2, Phase: 0},
+			},
+		}},
+		{{
+			Task:     42,
+			WaitsFor: []deps.Resource{{Phaser: -8, Phase: -1}},
+			Regs:     []deps.Reg{{Phaser: 1, Phase: 1 << 40}},
+		}, {Task: -1}},
+	}
+	for i, snap := range seeds {
+		f.Add(encodeSnapshot(i, uint64(i)*99, snap))
+	}
+	good := encodeSnapshot(1, 1, seeds[2])
+	f.Add(good[:len(good)-3])                   // truncated
+	f.Add(append(append([]byte{}, good...), 0)) // trailing byte
+	f.Add([]byte(snapshotMagic))                // header only
+	f.Add([]byte("NOTARMUS-------"))
+	f.Add(append([]byte(snapshotMagic), 1, 1, 0xff, 0xff, 0xff, 0xff, 0x7f)) // huge length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, seq, snap, err := decodeSnapshot(data)
+		if err != nil {
+			return // rejected: that is a fine outcome for arbitrary bytes
+		}
+		re := encodeSnapshot(id, seq, snap)
+		id2, seq2, snap2, err := decodeSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-encoded payload rejected: %v", err)
+		}
+		if id2 != id || seq2 != seq || len(snap2) != len(snap) {
+			t.Fatalf("fixpoint broken: (%d,%d,%d statuses) -> (%d,%d,%d statuses)",
+				id, seq, len(snap), id2, seq2, len(snap2))
+		}
+		for i := range snap {
+			if snap2[i].Task != snap[i].Task ||
+				!sliceEqual(snap2[i].WaitsFor, snap[i].WaitsFor) ||
+				!sliceEqual(snap2[i].Regs, snap[i].Regs) {
+				t.Fatalf("fixpoint broken at status %d: %+v vs %+v", i, snap[i], snap2[i])
+			}
+		}
+	})
+}

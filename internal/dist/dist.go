@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"armus/internal/clock"
 	"armus/internal/core"
 	"armus/internal/deps"
 	"armus/internal/store"
@@ -72,6 +73,11 @@ func WithModel(m deps.Model) Option { return func(s *Site) { s.model = m } }
 // WithPeriod sets the publish/check period (default DefaultPeriod).
 func WithPeriod(d time.Duration) Option { return func(s *Site) { s.period = d } }
 
+// WithClock injects the clock driving the publish/check loop (default the
+// real time.Ticker clock). Tests pass a *clock.Fake and step rounds
+// deterministically instead of sleeping through periods.
+func WithClock(c clock.Clock) Option { return func(s *Site) { s.clock = c } }
+
 // WithVerifierMode overrides the mode of the site's local verifier. The
 // default is core.ModeObserve: blocked statuses are recorded for publishing
 // but no local checker runs (the global loop is the checker). ModeOff gives
@@ -93,6 +99,7 @@ type Site struct {
 	model  deps.Model
 	period time.Duration
 	mode   core.Mode
+	clock  clock.Clock
 
 	v          *core.Verifier
 	client     *store.Client
@@ -133,6 +140,7 @@ func NewSite(id int, addr string, opts ...Option) *Site {
 		model:   deps.ModelAuto,
 		period:  DefaultPeriod,
 		mode:    core.ModeObserve,
+		clock:   clock.Real{},
 		client:  store.Dial(addr),
 		builder: deps.NewBuilder(),
 	}
@@ -213,14 +221,14 @@ func (s *Site) isClosed() bool {
 // story.
 func (s *Site) loop() {
 	defer close(s.done)
-	ticker := time.NewTicker(s.period)
+	ticker := s.clock.NewTicker(s.period)
 	defer ticker.Stop()
 	var lastReported string
 	for {
 		select {
 		case <-s.stop:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 		}
 		_ = s.PublishOnce() // counted; check runs regardless (local view)
 		rep, err := s.CheckOnce()

@@ -2,20 +2,27 @@ package dist_test
 
 import (
 	"testing"
-	"time"
 
 	"armus/internal/dist"
 	"armus/internal/dist/disttest"
 )
 
+// The cluster tests drive every site's publish/check loop from one shared
+// fake clock: fc.Round() completes one round everywhere, and two Rounds
+// after a state change guarantee every site has completed a round whose
+// check saw every site's published snapshot (ticks are globally ordered).
+// No sleeps, no real periods, no timing flake.
+
 func TestIdleClusterFindsNothing(t *testing.T) {
-	_, sites, reports := disttest.NewCluster(t, 3)
+	_, sites, reports, fc := disttest.NewFakeCluster(t, 3)
 	for _, s := range sites {
 		s.Start()
 	}
+	fc.WaitTickers(len(sites))
+	fc.Round()
 	for _, s := range sites {
-		if err := s.PublishOnce(); err != nil {
-			t.Fatal(err)
+		if s.Stats().Publishes == 0 {
+			t.Fatalf("site %d never published", s.ID())
 		}
 		rep, err := s.CheckOnce()
 		if err != nil {
@@ -28,7 +35,7 @@ func TestIdleClusterFindsNothing(t *testing.T) {
 	select {
 	case e := <-reports:
 		t.Fatalf("false positive: %v", e)
-	case <-time.After(30 * time.Millisecond):
+	default: // every completed round has delivered its reports already
 	}
 }
 
@@ -36,36 +43,41 @@ func TestIdleClusterFindsNothing(t *testing.T) {
 // three-site ring deadlock invisible to every local view is detected by
 // every site from the merged global view.
 func TestCrossSiteRingDeadlockThreeSites(t *testing.T) {
-	_, sites, reports := disttest.NewCluster(t, 3)
+	_, sites, reports, fc := disttest.NewFakeCluster(t, 3)
 	for _, s := range sites {
 		s.Start()
 	}
+	fc.WaitTickers(len(sites))
 	disttest.InjectRing(t, sites)
-	select {
-	case e := <-reports:
-		if len(e.Cycle.Tasks) != 3 {
-			t.Fatalf("cycle spans %d tasks, want 3: %v", len(e.Cycle.Tasks), e)
-		}
-		// The cycle crosses all three sites; every task is named (the
-		// reporting site's own by application name, remote ones
-		// site-qualified).
-		gotSites := map[int]bool{}
-		for _, id := range e.Cycle.Tasks {
-			gotSites[dist.SiteOf(int64(id))] = true
-		}
-		if len(gotSites) != 3 {
-			t.Fatalf("cycle spans sites %v, want all 3: %v", gotSites, e)
-		}
-		for id, name := range e.TaskNames {
-			if name == "" {
-				t.Fatalf("unnamed task %d in report", id)
+	fc.Round()
+	fc.Round() // every site has now checked a store holding every snapshot
+	for range sites {
+		select {
+		case r := <-reports:
+			if len(r.Cycle.Tasks) != 3 {
+				t.Fatalf("cycle spans %d tasks, want 3: %v", len(r.Cycle.Tasks), r)
 			}
+			// The cycle crosses all three sites; every task is named (the
+			// reporting site's own by application name, remote ones
+			// site-qualified).
+			gotSites := map[int]bool{}
+			for _, id := range r.Cycle.Tasks {
+				gotSites[dist.SiteOf(int64(id))] = true
+			}
+			if len(gotSites) != 3 {
+				t.Fatalf("cycle spans sites %v, want all 3: %v", gotSites, r)
+			}
+			for id, name := range r.TaskNames {
+				if name == "" {
+					t.Fatalf("unnamed task %d in report", id)
+				}
+			}
+		default:
+			t.Fatal("a site failed to report the ring after two settled rounds")
 		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("distributed detection never fired")
 	}
 	// Every site independently reaches the same verdict (one-phase: no
-	// coordinator). CheckOnce avoids racing on the loops' schedules.
+	// coordinator).
 	for _, s := range sites {
 		rep, err := s.CheckOnce()
 		if err != nil {
@@ -75,14 +87,16 @@ func TestCrossSiteRingDeadlockThreeSites(t *testing.T) {
 			t.Fatalf("site %d does not see the global deadlock", s.ID())
 		}
 	}
-	// The loop deduplicates: a persisting cycle is reported once per site,
-	// not once per period.
-	time.Sleep(30 * time.Millisecond)
+	// The loop deduplicates: more settled rounds over the unchanged cycle
+	// must not re-report it.
+	fc.Round()
+	fc.Round()
 	total := int64(0)
 	for _, s := range sites {
 		total += s.Stats().Deadlocks
 	}
-	if total > int64(len(sites)) {
-		t.Fatalf("persisting deadlock over-reported: %d reports from %d sites", total, len(sites))
+	if total != int64(len(sites)) {
+		t.Fatalf("persisting deadlock reported %d times from %d sites, want once each",
+			total, len(sites))
 	}
 }

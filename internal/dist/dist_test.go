@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"armus/internal/clock"
 	"armus/internal/core"
 	"armus/internal/deps"
 	"armus/internal/store"
@@ -141,22 +142,28 @@ func TestSiteIDsAreDisjoint(t *testing.T) {
 // TestSiteSurvivesStoreRestart is the §5.2 fault-tolerance property at the
 // site level: a store restart mid-run costs some rounds (counted as
 // errors) but the site keeps publishing and checking once the store is
-// back, without being restarted itself.
+// back, without being restarted itself. The loop is stepped by a fake
+// clock, so every phase of the outage is asserted deterministically.
 func TestSiteSurvivesStoreRestart(t *testing.T) {
 	srv, err := store.NewServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	addr := srv.Addr()
-	s := NewSite(1, addr, WithPeriod(2*time.Millisecond))
+	fc := clock.NewFake()
+	s := NewSite(1, addr, WithClock(fc))
 	defer s.Close()
 	s.Start()
-	waitFor(t, "initial publishes", func() bool { return s.Stats().Publishes > 0 })
+	fc.Round() // one full publish+check round against the live store
+	if st := s.Stats(); st.Publishes == 0 || st.Checks == 0 {
+		t.Fatalf("no publish/check after a settled round: %+v", st)
+	}
 
 	srv.Close()
-	waitFor(t, "publish errors after store death", func() bool {
-		return s.Stats().PublishErrors > 0
-	})
+	fc.Round() // a settled round against the dead store
+	if s.Stats().PublishErrors == 0 {
+		t.Fatal("store death not reflected in publish errors")
+	}
 
 	srv2, err := store.NewServer(addr)
 	if err != nil {
@@ -164,17 +171,19 @@ func TestSiteSurvivesStoreRestart(t *testing.T) {
 	}
 	defer srv2.Close()
 	before := s.Stats()
-	waitFor(t, "publishes resume after restart", func() bool {
-		st := s.Stats()
-		return st.Publishes > before.Publishes && st.Checks > before.Checks
-	})
-	// The restarted (empty) store repopulates from the next rounds.
-	waitFor(t, "snapshot republished", func() bool {
-		c := store.Dial(addr)
-		defer c.Close()
-		keys, err := c.Keys(keyPrefix)
-		return err == nil && len(keys) == 1
-	})
+	fc.Round()
+	fc.Round() // the first post-restart round may still ride a dead conn
+	st := s.Stats()
+	if st.Publishes <= before.Publishes || st.Checks <= before.Checks {
+		t.Fatalf("site did not resume after store restart: %+v -> %+v", before, st)
+	}
+	// The restarted (empty) store has been repopulated.
+	c := store.Dial(addr)
+	defer c.Close()
+	keys, err := c.Keys(keyPrefix)
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("snapshot not republished: keys=%v err=%v", keys, err)
+	}
 }
 
 // TestStaleAndCorruptSnapshotsDoNotWedge: the global check must complete
@@ -322,16 +331,5 @@ func TestFingerprintIsOrderInsensitive(t *testing.T) {
 	c := fingerprint(&deps.Cycle{Tasks: []deps.TaskID{1, 2}})
 	if a == c {
 		t.Fatal("distinct cycles share a fingerprint")
-	}
-}
-
-func waitFor(t *testing.T, what string, cond func() bool) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(time.Millisecond)
 	}
 }

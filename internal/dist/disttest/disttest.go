@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"armus/internal/clock"
 	"armus/internal/core"
 	"armus/internal/deps"
 	"armus/internal/dist"
@@ -42,6 +43,19 @@ func NewCluster(t testing.TB, n int, opts ...dist.Option) (*store.Server, []*dis
 		t.Cleanup(sites[i].Close)
 	}
 	return srv, sites, reports
+}
+
+// NewFakeCluster is NewCluster with every site's publish/check loop driven
+// by one shared fake clock instead of real periods. After Start-ing the
+// sites, call fc.WaitTickers(n) once, then step rounds with fc.Round():
+// when the FIRST Round returns every site has completed one full
+// publish+check round, so two Rounds guarantee every site has checked a
+// store containing every site's snapshot. No sleeps, no timing.
+func NewFakeCluster(t testing.TB, n int, opts ...dist.Option) (*store.Server, []*dist.Site, chan *core.DeadlockError, *clock.Fake) {
+	t.Helper()
+	fc := clock.NewFake()
+	srv, sites, reports := NewCluster(t, n, append([]dist.Option{dist.WithClock(fc)}, opts...)...)
+	return srv, sites, reports, fc
 }
 
 // InjectRing injects an n-site ring deadlock into a healthy cluster: site

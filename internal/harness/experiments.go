@@ -310,17 +310,19 @@ func Experiments() map[string]func(Options) ([]*Table, error) {
 		}
 	}
 	return map[string]func(Options) ([]*Table, error){
-		"table1": one(RunTable1),
-		"table2": one(RunTable2),
-		"fig6":   RunFig6,
-		"fig7":   one(RunFig7),
-		"fig8":   one(RunFig8),
-		"fig9":   one(RunFig9),
-		"table3": one(RunTable3),
+		"table1":  one(RunTable1),
+		"table2":  one(RunTable2),
+		"fig6":    RunFig6,
+		"fig7":    one(RunFig7),
+		"fig8":    one(RunFig8),
+		"fig9":    one(RunFig9),
+		"table3":  one(RunTable3),
+		"explore": one(RunExplore),
 	}
 }
 
-// ExperimentNames lists the experiments in the paper's order.
+// ExperimentNames lists the experiments in the paper's order, then the
+// post-paper additions.
 func ExperimentNames() []string {
-	return []string{"table1", "table2", "fig6", "fig7", "fig8", "fig9", "table3"}
+	return []string{"table1", "table2", "fig6", "fig7", "fig8", "fig9", "table3", "explore"}
 }

@@ -168,6 +168,9 @@ type Options struct {
 	// DetectPeriod overrides the detection-scan period (paper: 100 ms
 	// local, 200 ms distributed).
 	DetectPeriod time.Duration
+	// Schedules is the seed count per pipeline for the schedule-exploration
+	// experiment (explore).
+	Schedules int
 }
 
 func (o *Options) defaults() {
@@ -194,5 +197,8 @@ func (o *Options) defaults() {
 	}
 	if o.DetectPeriod == 0 {
 		o.DetectPeriod = core.DefaultPeriod
+	}
+	if o.Schedules == 0 {
+		o.Schedules = 500
 	}
 }

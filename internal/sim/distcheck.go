@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+
+	"armus/internal/dist"
+	"armus/internal/store"
+)
+
+// DistChecker is the observe+dist leg of the differential: a real store
+// server plus a set of observe-mode sites. Check splits a schedule's final
+// blocked configuration into per-site snapshots, pushes them through the
+// store, and requires every site's merged global analysis to reach the
+// oracle's verdict. One checker is reused across many schedules (sites
+// overwrite their snapshot keys each round).
+type DistChecker struct {
+	srv   *store.Server
+	sites []*dist.Site
+}
+
+// NewDistChecker starts a store and nSites unstarted sites (the checker
+// drives publish/check rounds explicitly; no loops, no timers).
+func NewDistChecker(nSites int) (*DistChecker, error) {
+	if nSites < 1 {
+		nSites = 1
+	}
+	srv, err := store.NewServer("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	dc := &DistChecker{srv: srv}
+	for i := 0; i < nSites; i++ {
+		dc.sites = append(dc.sites, dist.NewSite(i+1, srv.Addr()))
+	}
+	return dc, nil
+}
+
+// Close shuts the sites and the store down.
+func (dc *DistChecker) Close() {
+	for _, s := range dc.sites {
+		s.Close()
+	}
+	dc.srv.Close()
+}
+
+// Check runs the distributed differential for one explored schedule: the
+// final blocked statuses are dealt round-robin to the sites' observe-mode
+// verifier states, every site publishes, and every site's CheckOnce —
+// its own live state merged with the other sites' store snapshots — must
+// agree with the oracle's verdict for the whole configuration (inverted
+// by cfg.FlipFinalVerdict for injected-disagreement drills). No single
+// site holds a cross-site cycle locally; only the merged view does.
+func (dc *DistChecker) Check(cfg Config, r *Result) (err error) {
+	cfg = cfg.withDefaults()
+	want := r.Deadlocked
+	if cfg.FlipFinalVerdict {
+		want = !want
+	}
+	stuckSet := map[int]bool{}
+	for _, t := range r.Stuck {
+		stuckSet[t] = true
+	}
+	siteOf := func(i int) *dist.Site { return dc.sites[i%len(dc.sites)] }
+	for i, b := range r.FinalBlocked {
+		siteOf(i).Verifier().State().SetBlocked(b)
+	}
+	defer func() {
+		// Reset for the next schedule: clear the injected statuses and
+		// republish the (now empty) snapshots. A failed republish would
+		// leak this schedule's statuses into every later seed's merged
+		// view — misattributing divergences — so it must surface, not be
+		// swallowed.
+		for i, b := range r.FinalBlocked {
+			siteOf(i).Verifier().State().Clear(b.Task)
+		}
+		for _, s := range dc.sites {
+			if perr := s.PublishOnce(); perr != nil && err == nil {
+				err = fmt.Errorf("sim: dist reset republish: %w", perr)
+			}
+		}
+	}()
+	for _, s := range dc.sites {
+		if err := s.PublishOnce(); err != nil {
+			return fmt.Errorf("sim: dist publish: %w", err)
+		}
+	}
+	fail := func(siteID int, format string, args ...any) error {
+		return &Divergence{
+			Cfg:      cfg,
+			Mode:     "dist",
+			Step:     -1,
+			Schedule: r.Schedule,
+			Detail:   fmt.Sprintf("site %d: %s", siteID, fmt.Sprintf(format, args...)),
+		}
+	}
+	for _, s := range dc.sites {
+		rep, err := s.CheckOnce()
+		if err != nil {
+			return fmt.Errorf("sim: dist check: %w", err)
+		}
+		if (rep != nil) != want {
+			return fail(s.ID(), "merged-view verdict %v, oracle says %v (stuck=%v)",
+				rep != nil, want, r.Stuck)
+		}
+		if rep == nil {
+			continue
+		}
+		for _, id := range rep.Cycle.Tasks {
+			if idx := int(id) - 1; !stuckSet[idx] {
+				return fail(s.ID(), "report includes t%d outside the oracle stuck set %v: %v",
+					idx, r.Stuck, rep)
+			}
+		}
+	}
+	return nil
+}
+
+// RunDist explores one schedule on the abstract machine and checks its
+// final state through the distributed pipeline.
+func RunDist(dc *DistChecker, cfg Config) (*Result, error) {
+	r, err := Run(cfg, RunModel)
+	if err != nil {
+		return r, err
+	}
+	return r, dc.Check(cfg, r)
+}

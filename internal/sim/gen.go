@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"armus/internal/core"
+)
+
+// Distinct PCG streams so program shape and schedule choices are
+// independent functions of the same seed.
+const (
+	genStream   = 0x6172_6d75_735f_67 // "armus_g"
+	schedStream = 0x6172_6d75_735f_73 // "armus_s"
+)
+
+// Generate derives the program for cfg: membership density and operation
+// weights are tuned so that a useful fraction of schedules deadlock (rings
+// over shared phasers, parents that stay registered, self-awaits of future
+// phases) while most still complete — both verdict classes must be well
+// represented for the differential to mean anything.
+func Generate(cfg Config) *Program {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, genStream))
+	p := &Program{
+		Tasks:   cfg.Tasks,
+		Phasers: cfg.Phasers,
+		Init:    make([][]Member, cfg.Phasers),
+		Ops:     make([][]Op, cfg.Tasks),
+	}
+	for q := range p.Init {
+		for t := 0; t < cfg.Tasks; t++ {
+			if rng.IntN(100) < 65 {
+				p.Init[q] = append(p.Init[q], Member{Task: t, Mode: genMode(rng)})
+			}
+		}
+	}
+	for t := range p.Ops {
+		ops := make([]Op, 0, cfg.Ops)
+		for i := 0; i < cfg.Ops; i++ {
+			ops = append(ops, genOp(rng, cfg))
+		}
+		p.Ops[t] = ops
+	}
+	return p
+}
+
+// genMode picks a registration mode: mostly classic sig-wait parties, with
+// enough producers and consumers to exercise the HJ mode semantics.
+func genMode(rng *rand.Rand) core.RegMode {
+	switch n := rng.IntN(100); {
+	case n < 76:
+		return core.SigWait
+	case n < 88:
+		return core.SignalOnly
+	default:
+		return core.WaitOnly
+	}
+}
+
+// genOp picks one operation. Targets may be invalid on purpose (register
+// an existing member, signal a phaser the task left): the runtime's error
+// returns are part of the differential contract.
+func genOp(rng *rand.Rand, cfg Config) Op {
+	op := Op{Phaser: rng.IntN(cfg.Phasers)}
+	switch n := rng.IntN(100); {
+	case n < 22:
+		op.Kind = OpArrive
+	case n < 42:
+		op.Kind = OpAdvance
+	case n < 56:
+		op.Kind = OpAwaitAdvance
+	case n < 66:
+		op.Kind = OpAwaitPhase
+		op.Delta = int64(rng.IntN(3))
+	case n < 80:
+		op.Kind = OpRegister
+		op.Target = rng.IntN(cfg.Tasks)
+		op.Mode = genMode(rng)
+	case n < 90:
+		op.Kind = OpDeregister
+	default:
+		op.Kind = OpChangeMode
+		op.Mode = genMode(rng)
+	}
+	return op
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"sort"
+
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/sim/oracle"
+)
+
+// mreg is one model-side membership: the task's local phase and HJ mode.
+type mreg struct {
+	phase int64
+	mode  core.RegMode
+}
+
+// await is the event a model task is blocked on.
+type await struct {
+	phaser int
+	phase  int64
+}
+
+// machine is the abstract phaser machine the runner executes the program
+// on, in lockstep with (and as the predictor for) the real runtime. It
+// mirrors the core semantics exactly: await(q, n) is satisfied iff every
+// signal-capable member of q has local phase >= n (vacuously for none),
+// registration inherits the registrar's phase, avoidance recovery drops
+// the rejected task's membership.
+type machine struct {
+	prog *Program
+	// members[q][t] — memberships per phaser.
+	members []map[int]*mreg
+	// waiting[t] — the await each blocked task is parked on.
+	waiting map[int]await
+	// pc[t] — index of t's next op.
+	pc []int
+}
+
+func newMachine(p *Program) *machine {
+	m := &machine{
+		prog:    p,
+		members: make([]map[int]*mreg, p.Phasers),
+		waiting: make(map[int]await),
+		pc:      make([]int, p.Tasks),
+	}
+	for q := range m.members {
+		m.members[q] = make(map[int]*mreg)
+		for _, mem := range p.Init[q] {
+			m.members[q][mem.Task] = &mreg{phase: 0, mode: mem.Mode}
+		}
+	}
+	return m
+}
+
+// satisfied reports whether await(q, n) holds: no signal-capable member
+// lags phase n.
+func (m *machine) satisfied(q int, n int64) bool {
+	for _, r := range m.members[q] {
+		if r.mode != core.WaitOnly && r.phase < n {
+			return false
+		}
+	}
+	return true
+}
+
+// newlySatisfied returns the blocked tasks whose awaits now hold,
+// ascending — the wake set of the operation just applied. Callers settle
+// these (removing them from waiting) before the next operation, which is
+// what keeps the lockstep with the real runtime deterministic.
+func (m *machine) newlySatisfied() []int {
+	var out []int
+	for t, aw := range m.waiting {
+		if m.satisfied(aw.phaser, aw.phase) {
+			out = append(out, t)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// runnable returns the tasks that can be scheduled: ops remaining, not
+// blocked. Ascending order so the seeded scheduler's choice is a pure
+// function of the seed.
+func (m *machine) runnable() []int {
+	var out []int
+	for t := 0; t < m.prog.Tasks; t++ {
+		if m.pc[t] >= len(m.prog.Ops[t]) {
+			continue
+		}
+		if _, blocked := m.waiting[t]; blocked {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// oracleRegs collects blocked task t's signal-capable registration vector
+// in oracle form.
+func (m *machine) oracleRegs(t int) map[int64]int64 {
+	regs := map[int64]int64{}
+	for q := range m.members {
+		if r := m.members[q][t]; r != nil && r.mode != core.WaitOnly {
+			regs[int64(q)] = r.phase
+		}
+	}
+	return regs
+}
+
+// oracleState converts the blocked configuration to the oracle's
+// independent representation; extra, if non-nil, is a tentative await for
+// task extraTask (the avoidance gate's "with b inserted" question).
+func (m *machine) oracleState(extraTask int, extra *await) *oracle.State {
+	s := oracle.NewState()
+	add := func(t int, aw await) {
+		s.AddBlocked(int64(t), oracle.Await{Phaser: int64(aw.phaser), Phase: aw.phase}, m.oracleRegs(t))
+	}
+	for t, aw := range m.waiting {
+		add(t, aw)
+	}
+	if extra != nil {
+		add(extraTask, *extra)
+	}
+	return s
+}
+
+// finalBlocked renders the blocked configuration as deps.Blocked statuses
+// with synthetic IDs (task t -> TaskID t+1, phaser q -> PhaserID q+1) for
+// the distributed differential, sorted by task.
+func (m *machine) finalBlocked() []deps.Blocked {
+	var tasks []int
+	for t := range m.waiting {
+		tasks = append(tasks, t)
+	}
+	sort.Ints(tasks)
+	out := make([]deps.Blocked, 0, len(tasks))
+	for _, t := range tasks {
+		aw := m.waiting[t]
+		b := deps.Blocked{
+			Task:     deps.TaskID(t + 1),
+			WaitsFor: []deps.Resource{{Phaser: deps.PhaserID(aw.phaser + 1), Phase: aw.phase}},
+		}
+		for q, phase := range m.oracleRegs(t) {
+			b.Regs = append(b.Regs, deps.Reg{Phaser: deps.PhaserID(q + 1), Phase: phase})
+		}
+		sort.Slice(b.Regs, func(i, j int) bool { return b.Regs[i].Phaser < b.Regs[j].Phaser })
+		out = append(out, b)
+	}
+	return out
+}

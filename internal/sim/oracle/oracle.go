@@ -1,0 +1,227 @@
+// Package oracle is the brute-force deadlock oracle of the schedule
+// exploration harness (internal/sim): an independent, obviously-correct
+// decision procedure for barrier deadlock, used as the ground truth the
+// production pipelines (avoid / detect / observe+dist) are differential-
+// tested against.
+//
+// It deliberately shares NOTHING with the production analysis: no
+// internal/deps, no internal/graph, no snapshots, no builders. The state
+// representation is its own, and the two decision procedures are the most
+// naive ones that are still exact:
+//
+//   - StuckSet enumerates EVERY subset of the blocked tasks and checks the
+//     totally-deadlocked condition of Definition 3.1 directly on each: S is
+//     totally deadlocked iff S is non-empty and every t in S awaits an
+//     event some member of S impedes. The union of all such subsets is
+//     returned (it is itself totally deadlocked, and it is the greatest
+//     such set); the state is deadlocked iff the union is non-empty
+//     (Definition 3.2).
+//   - CycleThrough searches exhaustively over all simple waits-for paths
+//     for a cycle through one given task — the ground truth for the
+//     avoidance gate, which must reject a block exactly when it creates
+//     such a cycle.
+//
+// Subset enumeration is exponential, which is fine: generated programs
+// have a handful of tasks. Past enumLimit blocked tasks StuckSet switches
+// to the greatest-fixpoint refinement (start from all blocked tasks,
+// discard tasks not impeded by the remainder until stable), which computes
+// the same set; the equivalence of the two procedures is itself asserted
+// by the harness tests on every enumerable state.
+package oracle
+
+import "sort"
+
+// Await is the single synchronisation event a blocked task waits for:
+// phase Phase of phaser Phaser.
+type Await struct {
+	Phaser int64
+	Phase  int64
+}
+
+// State is the oracle's view of a blocked configuration. Only blocked
+// tasks appear (a runnable task can always advance, so it can never be
+// part of a deadlock), and only their signal-capable registrations (a
+// wait-only member impedes nothing).
+type State struct {
+	// Regs[q][t] is blocked task t's local phase on phaser q. A task with
+	// phase m impedes every event (q, n) with n > m.
+	Regs map[int64]map[int64]int64
+	// Waits[t] is the event blocked task t awaits.
+	Waits map[int64]Await
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{Regs: map[int64]map[int64]int64{}, Waits: map[int64]Await{}}
+}
+
+// AddBlocked records blocked task t awaiting w with the given
+// signal-capable registration vector.
+func (s *State) AddBlocked(t int64, w Await, regs map[int64]int64) {
+	s.Waits[t] = w
+	for q, phase := range regs {
+		if s.Regs[q] == nil {
+			s.Regs[q] = map[int64]int64{}
+		}
+		s.Regs[q][t] = phase
+	}
+}
+
+// impededBy reports whether some task of set (a bitmask over tasks, the
+// i'th bit standing for tasks[i]) impedes t's awaited event.
+func (s *State) impededBy(t int64, tasks []int64, set uint64) bool {
+	w, ok := s.Waits[t]
+	if !ok {
+		return false
+	}
+	members := s.Regs[w.Phaser]
+	for i, t2 := range tasks {
+		if set&(1<<uint(i)) == 0 {
+			continue
+		}
+		if m, reg := members[t2]; reg && m < w.Phase {
+			return true
+		}
+	}
+	return false
+}
+
+// enumLimit is the largest blocked-task count StuckSet fully enumerates
+// (2^enumLimit subsets); beyond it the equivalent fixpoint is used.
+const enumLimit = 16
+
+// blockedTasks returns the blocked tasks in ascending order, the shared
+// deterministic iteration order of both decision procedures.
+func (s *State) blockedTasks() []int64 {
+	tasks := make([]int64, 0, len(s.Waits))
+	for t := range s.Waits {
+		tasks = append(tasks, t)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+	return tasks
+}
+
+// StuckSet returns the greatest totally-deadlocked subset of the blocked
+// tasks, in ascending task order — empty iff the state is deadlock free.
+func StuckSet(s *State) []int64 {
+	tasks := s.blockedTasks()
+	if len(tasks) <= enumLimit {
+		return stuckSetEnum(s, tasks)
+	}
+	return stuckSetFixpoint(s, tasks)
+}
+
+// stuckSetEnum is the exhaustive subset enumeration: the union of every
+// subset satisfying the totally-deadlocked condition.
+func stuckSetEnum(s *State, tasks []int64) []int64 {
+	var union uint64
+	for set := uint64(1); set < 1<<uint(len(tasks)); set++ {
+		if set&union == set {
+			continue // already known deadlocked via a superset-free union
+		}
+		ok := true
+		for i, t := range tasks {
+			if set&(1<<uint(i)) == 0 {
+				continue
+			}
+			if !s.impededBy(t, tasks, set) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			union |= set
+		}
+	}
+	out := make([]int64, 0)
+	for i, t := range tasks {
+		if union&(1<<uint(i)) != 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// stuckSetFixpoint computes the same set as the greatest fixpoint: start
+// from every blocked task and discard tasks whose await is not impeded by
+// the remaining candidates, until stable.
+func stuckSetFixpoint(s *State, tasks []int64) []int64 {
+	in := map[int64]bool{}
+	for _, t := range tasks {
+		in[t] = true
+	}
+	for {
+		removed := false
+		for _, t := range tasks {
+			if !in[t] {
+				continue
+			}
+			w := s.Waits[t]
+			impeded := false
+			for t2, m := range s.Regs[w.Phaser] {
+				if in[t2] && m < w.Phase {
+					impeded = true
+					break
+				}
+			}
+			if !impeded {
+				delete(in, t)
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	out := make([]int64, 0, len(in))
+	for _, t := range tasks {
+		if in[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Deadlocked reports whether the state is deadlocked (Definition 3.2:
+// some non-empty totally-deadlocked subset exists).
+func Deadlocked(s *State) bool { return len(StuckSet(s)) > 0 }
+
+// CycleThrough reports whether a waits-for cycle passes through task
+// start: a sequence start -> t1 -> ... -> tk -> start of blocked tasks
+// where each task's awaited event is impeded by the next (tk = start with
+// k = 0 is the self-loop: start impeding its own await). It is the ground
+// truth for the avoidance gate. The search is an exhaustive simple-path
+// DFS — every acyclic prefix is explored.
+func CycleThrough(s *State, start int64) bool {
+	if _, blocked := s.Waits[start]; !blocked {
+		return false
+	}
+	visited := map[int64]bool{}
+	var dfs func(t int64) bool
+	dfs = func(t int64) bool {
+		w := s.Waits[t]
+		for t2, m := range s.Regs[w.Phaser] {
+			if m >= w.Phase {
+				continue // t2 already arrived past the awaited phase
+			}
+			if _, blocked := s.Waits[t2]; !blocked {
+				continue // only blocked tasks can be on a cycle
+			}
+			if t2 == start {
+				return true
+			}
+			if !visited[t2] {
+				visited[t2] = true
+				if dfs(t2) {
+					return true
+				}
+				// NOTE deliberately no un-visit: reachability to start is
+				// monotone, so a visited task that did not reach start on
+				// one path cannot reach it on another.
+			}
+		}
+		return false
+	}
+	visited[start] = true
+	return dfs(start)
+}

@@ -1,0 +1,128 @@
+package oracle
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// two-task ring: t1 awaits (q1,1) impeded by t2; t2 awaits (q2,1) impeded
+// by t1.
+func ring2() *State {
+	s := NewState()
+	s.AddBlocked(1, Await{Phaser: 1, Phase: 1}, map[int64]int64{1: 1, 2: 0})
+	s.AddBlocked(2, Await{Phaser: 2, Phase: 1}, map[int64]int64{2: 1, 1: 0})
+	return s
+}
+
+func TestRingDeadlocked(t *testing.T) {
+	s := ring2()
+	got := StuckSet(s)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("StuckSet = %v, want [1 2]", got)
+	}
+	if !CycleThrough(s, 1) || !CycleThrough(s, 2) {
+		t.Fatal("ring members not on a cycle")
+	}
+	if CycleThrough(s, 3) {
+		t.Fatal("unblocked task on a cycle")
+	}
+}
+
+func TestChainNotDeadlocked(t *testing.T) {
+	// t1 awaits an event impeded by t2; t2 awaits an event impeded by a
+	// RUNNABLE task 9 (9 has a registration but no Waits entry — it can
+	// still arrive). Nothing is stuck.
+	s := NewState()
+	s.AddBlocked(1, Await{Phaser: 1, Phase: 1}, nil)
+	s.AddBlocked(2, Await{Phaser: 2, Phase: 1}, map[int64]int64{1: 0})
+	if s.Regs[2] == nil {
+		s.Regs[2] = map[int64]int64{}
+	}
+	s.Regs[2][9] = 0 // runnable laggard
+	if Deadlocked(s) {
+		t.Fatalf("chain misreported as deadlock: %v", StuckSet(s))
+	}
+	if CycleThrough(s, 1) || CycleThrough(s, 2) {
+		t.Fatal("chain has no cycle")
+	}
+}
+
+func TestSelfDeadlock(t *testing.T) {
+	// A task awaiting a future phase of a phaser it lags itself.
+	s := NewState()
+	s.AddBlocked(7, Await{Phaser: 1, Phase: 2}, map[int64]int64{1: 0})
+	if got := StuckSet(s); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("StuckSet = %v, want [7]", got)
+	}
+	if !CycleThrough(s, 7) {
+		t.Fatal("self-loop not found")
+	}
+}
+
+// TestWaiterOnDeadlockJoinsStuckSet: a task awaiting an event impeded by a
+// deadlocked task is itself stuck (it is in the greatest subset) even
+// though it lies on no cycle.
+func TestWaiterOnDeadlockJoinsStuckSet(t *testing.T) {
+	s := ring2()
+	s.AddBlocked(3, Await{Phaser: 1, Phase: 1}, nil) // waits on the ring
+	got := StuckSet(s)
+	if len(got) != 3 {
+		t.Fatalf("StuckSet = %v, want [1 2 3]", got)
+	}
+	if CycleThrough(s, 3) {
+		t.Fatal("pure waiter misplaced on a cycle")
+	}
+}
+
+func TestEmptyStateClean(t *testing.T) {
+	if Deadlocked(NewState()) {
+		t.Fatal("empty state deadlocked")
+	}
+}
+
+// TestEnumMatchesFixpoint cross-validates the two independent decision
+// procedures on random states, and checks Deadlocked against the
+// existence of a cycle (a non-empty greatest subset must contain a cycle,
+// and any cycle is itself a totally deadlocked subset).
+func TestEnumMatchesFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	for iter := 0; iter < 2000; iter++ {
+		nTasks := 1 + rng.IntN(8)
+		nPhasers := 1 + rng.IntN(3)
+		s := NewState()
+		for t64 := int64(0); t64 < int64(nTasks); t64++ {
+			if rng.IntN(4) == 0 {
+				continue // runnable task: contributes nothing
+			}
+			regs := map[int64]int64{}
+			for q := int64(0); q < int64(nPhasers); q++ {
+				if rng.IntN(2) == 0 {
+					regs[q] = int64(rng.IntN(3))
+				}
+			}
+			w := Await{Phaser: int64(rng.IntN(nPhasers)), Phase: int64(1 + rng.IntN(3))}
+			s.AddBlocked(t64, w, regs)
+		}
+		tasks := s.blockedTasks()
+		enum := stuckSetEnum(s, tasks)
+		fix := stuckSetFixpoint(s, tasks)
+		if len(enum) != len(fix) {
+			t.Fatalf("iter %d: enum %v != fixpoint %v", iter, enum, fix)
+		}
+		for i := range enum {
+			if enum[i] != fix[i] {
+				t.Fatalf("iter %d: enum %v != fixpoint %v", iter, enum, fix)
+			}
+		}
+		anyCycle := false
+		for _, tk := range tasks {
+			if CycleThrough(s, tk) {
+				anyCycle = true
+				break
+			}
+		}
+		if anyCycle != (len(enum) > 0) {
+			t.Fatalf("iter %d: cycle existence %v but stuck set %v", iter, anyCycle, enum)
+		}
+	}
+}

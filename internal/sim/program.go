@@ -1,0 +1,197 @@
+// Package sim is the deterministic schedule-exploration harness: it
+// generates random phaser programs (register / signal / wait / drop /
+// split-phase / mode-change sequences over N tasks × M phasers), runs them
+// under a seeded scheduler with explicit interleaving control, and
+// differential-tests every verification pipeline against the brute-force
+// oracle of internal/sim/oracle:
+//
+//   - avoidance must reject a blocking operation exactly when the oracle
+//     finds a waits-for cycle through the blocking task;
+//   - after every scheduled operation, the full checker (Verifier.CheckNow)
+//     must agree with the oracle's deadlock verdict;
+//   - the detection loop, driven by an injectable fake clock (no real-time
+//     sleeps), must report a deadlock at the step it appears and stay
+//     silent while the oracle says the state is clean;
+//   - the distributed pipeline must reach the oracle's verdict through the
+//     store on the final state split into per-site snapshots.
+//
+// Everything is a pure function of (Config, seed): a failure prints the
+// (seed, schedule) pair and reproduces under cmd/armus-sim.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"armus/internal/core"
+)
+
+// OpKind enumerates the generated phaser operations.
+type OpKind int
+
+const (
+	// OpArrive signals the phaser without blocking (Phaser.Arrive) — the
+	// initiation half of a split-phase synchronisation.
+	OpArrive OpKind = iota
+	// OpAdvance arrives and awaits the new phase (Phaser.Advance).
+	OpAdvance
+	// OpAwaitAdvance awaits the caller's own current phase
+	// (Phaser.AwaitAdvance) — the completion half of a split phase.
+	OpAwaitAdvance
+	// OpAwaitPhase awaits an explicit phase: the caller's local phase (0
+	// for non-members) plus Delta (Phaser.AwaitPhase).
+	OpAwaitPhase
+	// OpRegister registers task Target with the phaser in mode Mode, the
+	// caller acting as registrar (Phaser.RegisterMode). Registering a
+	// currently-blocked target exercises the third-party status-refresh
+	// path of the runtime.
+	OpRegister
+	// OpDeregister drops the caller's own membership (Phaser.Deregister).
+	OpDeregister
+	// OpChangeMode re-registers the caller under mode Mode: deregister,
+	// then register again via the lowest-indexed remaining member (no-op
+	// register half if no member remains). The new local phase is the
+	// registrar's, exactly as the runtime's API forces.
+	OpChangeMode
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpArrive:
+		return "arrive"
+	case OpAdvance:
+		return "advance"
+	case OpAwaitAdvance:
+		return "await"
+	case OpAwaitPhase:
+		return "awaitPhase"
+	case OpRegister:
+		return "register"
+	case OpDeregister:
+		return "drop"
+	case OpChangeMode:
+		return "chmode"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one generated operation, executed by one task against one phaser.
+type Op struct {
+	Kind   OpKind
+	Phaser int          // phaser index
+	Target int          // OpRegister: the newcomer task index
+	Mode   core.RegMode // OpRegister / OpChangeMode
+	Delta  int64        // OpAwaitPhase: awaited phase offset
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpRegister:
+		return fmt.Sprintf("register(p%d, t%d, %v)", o.Phaser, o.Target, o.Mode)
+	case OpChangeMode:
+		return fmt.Sprintf("chmode(p%d, %v)", o.Phaser, o.Mode)
+	case OpAwaitPhase:
+		return fmt.Sprintf("awaitPhase(p%d, +%d)", o.Phaser, o.Delta)
+	default:
+		return fmt.Sprintf("%v(p%d)", o.Kind, o.Phaser)
+	}
+}
+
+// Member is an initial phaser membership: task Task joined in mode Mode at
+// phase 0.
+type Member struct {
+	Task int
+	Mode core.RegMode
+}
+
+// Program is a generated phaser program: initial memberships plus one
+// operation sequence per task. A Program is pure data; (Program, seed)
+// determines every run bit-for-bit.
+type Program struct {
+	Tasks   int
+	Phasers int
+	Init    [][]Member // per phaser
+	Ops     [][]Op     // per task
+}
+
+// String renders the program for replay debugging (cmd/armus-sim -v).
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program: %d tasks, %d phasers\n", p.Tasks, p.Phasers)
+	for q, ms := range p.Init {
+		fmt.Fprintf(&b, "  p%d init:", q)
+		for _, m := range ms {
+			fmt.Fprintf(&b, " t%d/%v", m.Task, m.Mode)
+		}
+		fmt.Fprintln(&b)
+	}
+	for t, ops := range p.Ops {
+		fmt.Fprintf(&b, "  t%d:", t)
+		for _, o := range ops {
+			fmt.Fprintf(&b, " %v", o)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Config parameterises one generated schedule. The zero value of a sizing
+// field selects its default.
+type Config struct {
+	Tasks   int // tasks (default 4)
+	Phasers int // phasers (default 3)
+	Ops     int // operations per task (default 10)
+	Seed    uint64
+	// FlipFinalVerdict inverts the oracle's final verdict before the
+	// end-of-run comparison: the standard injected disagreement, used to
+	// prove that a divergence really fails the harness and reproduces
+	// from its printed seed.
+	FlipFinalVerdict bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tasks <= 0 {
+		c.Tasks = 4
+	}
+	if c.Phasers <= 0 {
+		c.Phasers = 3
+	}
+	if c.Ops <= 0 {
+		c.Ops = 10
+	}
+	return c
+}
+
+// Repro renders the cmd/armus-sim invocation that replays this exact
+// configuration — the line printed with every divergence.
+func (c Config) Repro(mode string) string {
+	c = c.withDefaults()
+	s := fmt.Sprintf("go run ./cmd/armus-sim -seed %d -tasks %d -phasers %d -ops %d -mode %s",
+		c.Seed, c.Tasks, c.Phasers, c.Ops, mode)
+	if c.FlipFinalVerdict {
+		s += " -flip"
+	}
+	return s
+}
+
+// Divergence is a differential-testing failure: the production pipeline
+// and the oracle disagreed (or the runtime failed to match the model). It
+// carries everything needed to reproduce: the config (seed included), the
+// schedule prefix executed so far, and the failing step.
+type Divergence struct {
+	Cfg      Config
+	Mode     string
+	Step     int // index into Schedule; -1 for end-of-run checks
+	Schedule []int
+	Detail   string
+}
+
+func (d *Divergence) Error() string {
+	at := "end of run"
+	if d.Step >= 0 {
+		at = fmt.Sprintf("step %d", d.Step)
+	}
+	return fmt.Sprintf("sim divergence (%s mode) at %s: %s\n  schedule: %v\n  reproduce: %s",
+		d.Mode, at, d.Detail, d.Schedule, d.Cfg.Repro(d.Mode))
+}

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func newPair(t *testing.T) (*Server, *Client) {
@@ -239,4 +241,123 @@ func BenchmarkSetGet(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestClientConcurrentReconnect hammers one SHARED client from several
+// goroutines through a server kill + rebind: commands racing the restart
+// may fail (counted), in-flight commands see their connection die
+// mid-command, and afterwards every worker must complete a run of clean
+// commands on the same client instance. Run with -race: the client's
+// single-connection locking is the property under test.
+func TestClientConcurrentReconnect(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	c := Dial(addr)
+	defer c.Close()
+
+	const workers = 8
+	var phase atomic.Int64 // 0: healthy, 1: outage+restart window, 2: recovered
+	var healthyOps [workers]atomic.Int64
+	var recoveredAt [workers]atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			for n := int64(0); ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				val := []byte(fmt.Sprintf("v%d", n))
+				err := c.Set(key, val)
+				if err == nil {
+					got, gerr := c.Get(key)
+					if gerr == nil && string(got) != string(val) {
+						t.Errorf("worker %d read %q, wrote %q", i, got, val)
+						return
+					}
+					err = gerr
+				}
+				switch p := phase.Load(); {
+				case err == nil && p == 0:
+					healthyOps[i].Add(1)
+				case err != nil && p == 0:
+					t.Errorf("worker %d failed against a healthy server: %v", i, err)
+					return
+				case err != nil:
+					// Outage window: failures are expected and legal.
+				case err == nil && p == 2 && recoveredAt[i].Load() == 0:
+					recoveredAt[i].Store(n)
+				}
+			}
+		}()
+	}
+	waitAll := func(what string, cond func(i int) bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for i := 0; i < workers; i++ {
+			for !cond(i) {
+				if time.Now().After(deadline) {
+					close(stop)
+					wg.Wait()
+					t.Fatalf("timed out waiting for %s (worker %d)", what, i)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	// Phase 0: every worker completes clean commands on the shared client.
+	waitAll("healthy traffic", func(i int) bool { return healthyOps[i].Load() >= 20 })
+	// Phase 1: kill the server mid-traffic (in-flight commands lose their
+	// connection), then rebind the same address.
+	phase.Store(1)
+	srv.Close()
+	srv2, err := NewServer(addr)
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	// Phase 2: every worker must complete clean commands again, on the
+	// same client, without any reset.
+	phase.Store(2)
+	waitAll("recovery", func(i int) bool { return recoveredAt[i].Load() > 0 })
+	close(stop)
+	wg.Wait()
+}
+
+// TestClientSurvivesManyRestarts cycles the server through several
+// kill/rebind rounds under sequential traffic: the client must recover
+// after every round (regression bed for the redial-once retry logic).
+func TestClientSurvivesManyRestarts(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	c := Dial(addr)
+	defer c.Close()
+	for round := 0; round < 4; round++ {
+		if err := c.Set("k", []byte{byte(round)}); err != nil {
+			t.Fatalf("round %d: set against live server: %v", round, err)
+		}
+		srv.Close()
+		_ = c.Ping() // may fail; must not wedge
+		if srv, err = NewServer(addr); err != nil {
+			t.Skipf("round %d: could not rebind %s: %v", round, addr, err)
+		}
+		if err := c.Ping(); err != nil {
+			t.Fatalf("round %d: client did not recover: %v", round, err)
+		}
+	}
+	srv.Close()
 }

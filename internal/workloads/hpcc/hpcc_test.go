@@ -76,28 +76,35 @@ func TestSingleSiteSingleTask(t *testing.T) {
 // TestInjectedCrossSiteDeadlockThreeSites runs a real benchmark on a
 // three-site cluster (healthy), then injects a cross-site ring deadlock —
 // each site's main task awaits its own barrier while lagging the next
-// site's — and waits for some site's OnDeadlock to report it. No single
-// site's local view contains the cycle; only the merged store view does.
+// site's. No single site's local view contains the cycle; only the merged
+// store view does. The publish/check loops are stepped by a fake clock:
+// the healthy phase is asserted over settled rounds (not a sleep), and the
+// report must arrive within two settled rounds of the injection.
 func TestInjectedCrossSiteDeadlockThreeSites(t *testing.T) {
 	const nSites = 3
-	_, sites, reports := disttest.NewCluster(t, nSites)
+	_, sites, reports, fc := disttest.NewFakeCluster(t, nSites)
 	for _, s := range sites {
 		s.Start()
 	}
+	fc.WaitTickers(nSites)
 
 	// A genuine workload first: the cluster must be healthy and quiet.
 	if err := RunStream(sites, Config{TasksPerSite: 2, Class: 1}); err != nil {
 		t.Fatal(err)
 	}
+	fc.Round()
+	fc.Round()
 	select {
 	case e := <-reports:
-		t.Fatalf("false positive during benchmark: %v", e)
+		t.Fatalf("false positive after benchmark: %v", e)
 	default:
 	}
 
 	// Inject the ring: the blocked statuses an X10-style cross-site
 	// clocked async would produce.
 	disttest.InjectRing(t, sites)
+	fc.Round()
+	fc.Round() // every site has checked a store holding every snapshot
 	select {
 	case e := <-reports:
 		siteSet := map[int]bool{}
@@ -107,8 +114,8 @@ func TestInjectedCrossSiteDeadlockThreeSites(t *testing.T) {
 		if len(siteSet) != nSites {
 			t.Fatalf("cycle spans sites %v, want all %d: %v", siteSet, nSites, e)
 		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("injected cross-site deadlock never reported")
+	default:
+		t.Fatal("injected cross-site deadlock not reported after two settled rounds")
 	}
 }
 
