@@ -1,6 +1,7 @@
 package armus
 
 import (
+	"io"
 	"time"
 
 	"armus/internal/accum"
@@ -11,6 +12,7 @@ import (
 	"armus/internal/deps"
 	"armus/internal/dist"
 	"armus/internal/store"
+	"armus/internal/trace"
 )
 
 // Core runtime types (see internal/core).
@@ -134,6 +136,26 @@ func WithClock(c ClockSource) Option { return core.WithClock(c) }
 
 // WithIDBase offsets all minted IDs (for distributed sites).
 func WithIDBase(base int64) Option { return core.WithIDBase(base) }
+
+// TraceRecorder accumulates a verifier's transition trace (see
+// internal/trace): every register / arrive / drop / block / unblock and
+// every delivered verdict, replayable through `armus-trace replay`.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns an empty trace recorder for WithTraceRecorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// WithTraceWriter records the verifier's full transition trace and writes
+// it, in the armus-trace binary format, to w when the verifier is closed.
+// Record once, then replay the execution verdict-for-verdict through any
+// verification pipeline:
+//
+//	armus-trace replay -pipeline all run.trace
+func WithTraceWriter(w io.Writer) Option { return core.WithTraceWriter(w) }
+
+// WithTraceRecorder is WithTraceWriter with caller-owned storage: the
+// recorder can be snapshotted (and encoded) at any point during the run.
+func WithTraceRecorder(r *TraceRecorder) Option { return core.WithTraceRecorder(r) }
 
 // Derived barrier abstractions (see internal/barrier).
 type (

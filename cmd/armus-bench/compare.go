@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The bench-compare gate: every percentage cell of the current run (the
+// per-kernel overhead columns of tables 1-2) is matched against the same
+// cell of a checked-in baseline run and must not exceed it by more than
+// the tolerance, in absolute percentage points. Overheads are relative to
+// the unchecked run on the same machine, so the comparison is meaningful
+// across hardware (a CI runner vs the laptop that minted the baseline) —
+// absolute-time cells are ignored for exactly that reason.
+//
+// Points (not a ratio of the baseline) keep the gate stable where it
+// matters: a 2% baseline jumping to 9% is noise a ratio rule would flag,
+// while a 40-point jump is a regression no matter where it started.
+
+// cellKey addresses one comparable cell across runs.
+type cellKey struct {
+	experiment string
+	table      string
+	row        string
+	col        string
+}
+
+func (k cellKey) String() string {
+	return fmt.Sprintf("%s: %s @ %s threads", k.experiment, k.row, k.col)
+}
+
+// percentCells extracts every cell parseable as a percentage.
+func percentCells(results []jsonResult) map[cellKey]float64 {
+	out := map[cellKey]float64{}
+	for _, res := range results {
+		for _, t := range res.Tables {
+			for _, row := range t.Rows {
+				if len(row) == 0 {
+					continue
+				}
+				for i, cell := range row {
+					if i == 0 || i >= len(t.Header) {
+						continue
+					}
+					v, ok := parsePercent(cell)
+					if !ok {
+						continue
+					}
+					out[cellKey{res.Experiment, t.Title, row[0], t.Header[i]}] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parsePercent(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	if !strings.HasSuffix(s, "%") {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// compareBaseline checks current against the baseline file. It returns an
+// error when any overhead cell regressed beyond tolerancePts, when the two
+// runs share no comparable cells (flag drift would otherwise turn the gate
+// green by matching nothing), or when a baseline cell disappeared.
+func compareBaseline(current []jsonResult, baselinePath string, tolerancePts float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench-compare: %w", err)
+	}
+	var baseline []jsonResult
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("bench-compare: %s: %w", baselinePath, err)
+	}
+	base := percentCells(baseline)
+	cur := percentCells(current)
+	var regressions, missing []string
+	matched := 0
+	for k, b := range base {
+		c, ok := cur[k]
+		if !ok {
+			missing = append(missing, k.String())
+			continue
+		}
+		matched++
+		if c > b+tolerancePts {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f%% vs baseline %.0f%% (%+.0f > %.0f points)",
+					k, c, b, c-b, tolerancePts))
+		}
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "bench-compare: REGRESSION", r)
+	}
+	for _, m := range missing {
+		fmt.Fprintln(os.Stderr, "bench-compare: baseline cell missing from this run:", m)
+	}
+	switch {
+	case matched == 0:
+		return fmt.Errorf("bench-compare: no comparable cells between this run and %s (flag drift? regenerate the baseline)", baselinePath)
+	case len(missing) > 0:
+		return fmt.Errorf("bench-compare: %d baseline cells missing (run flags must match the baseline's)", len(missing))
+	case len(regressions) > 0:
+		return fmt.Errorf("bench-compare: %d overhead regressions beyond %.0f points", len(regressions), tolerancePts)
+	}
+	fmt.Fprintf(os.Stderr, "bench-compare: %d cells within %.0f points of %s\n",
+		matched, tolerancePts, baselinePath)
+	return nil
+}

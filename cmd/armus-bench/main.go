@@ -14,6 +14,17 @@
 // per experiment, carrying its tables and wall-clock seconds) instead of
 // the aligned-text rendering, so runs can be archived and diffed (the
 // checked-in BENCH_*.json files are produced this way).
+//
+// With -baseline the run additionally becomes the CI perf-trajectory gate:
+// every per-kernel overhead cell is compared against the same cell of the
+// given (previously archived) JSON file and the process exits non-zero
+// when any cell regressed by more than -tolerance percentage points:
+//
+//	armus-bench -exp table2 -samples 5 -class 1 -tasks 2,4 -json \
+//	    -baseline bench_baseline.json -tolerance 30 > bench.json
+//
+// Regenerate the baseline with the exact same experiment flags whenever an
+// intentional perf change moves the floor.
 package main
 
 import (
@@ -48,6 +59,8 @@ func main() {
 		period       = flag.Duration("period", 100*time.Millisecond, "detection scan period")
 		schedules    = flag.Int("schedules", 500, "seeded schedules per pipeline for the explore experiment")
 		asJSON       = flag.Bool("json", false, "emit results as JSON on stdout instead of text tables")
+		baseline     = flag.String("baseline", "", "compare overhead cells against this archived -json file and fail on regression")
+		tolerance    = flag.Float64("tolerance", 25, "allowed overhead regression vs -baseline, in percentage points")
 	)
 	flag.Parse()
 
@@ -95,20 +108,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "armus-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		if *asJSON {
-			results = append(results, jsonResult{
-				Experiment: name,
-				Seconds:    elapsed.Seconds(),
-				Tables:     tables,
-			})
-			continue
+		results = append(results, jsonResult{
+			Experiment: name,
+			Seconds:    elapsed.Seconds(),
+			Tables:     tables,
+		})
+		if !*asJSON {
+			fmt.Printf("(%s completed in %v)\n\n", name, elapsed.Round(time.Millisecond))
 		}
-		fmt.Printf("(%s completed in %v)\n\n", name, elapsed.Round(time.Millisecond))
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "armus-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *baseline != "" {
+		if err := compareBaseline(results, *baseline, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "armus-bench:", err)
 			os.Exit(1)
 		}

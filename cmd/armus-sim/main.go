@@ -17,6 +17,17 @@
 // prints the reproduction line):
 //
 //	armus-sim -seed 12345 -mode detect -flip
+//
+// Every divergence additionally auto-saves the diverging run's verifier
+// trace (prefix-minimized: it stops at the failing step) and prints the
+// second repro path alongside the seed line:
+//
+//	replay trace: go run ./cmd/armus-trace replay -pipeline all /tmp/armus-sim-seed12345-....trace
+//
+// The seed line re-executes the schedule through the harness; the trace
+// line replays the recorded state history through every verification
+// pipeline without the harness. Use -trace-dir to keep the artifacts
+// somewhere durable (e.g. to check one in under testdata/corpus/).
 package main
 
 import (
@@ -37,6 +48,7 @@ func main() {
 		mode      = flag.String("mode", "all", "pipeline to test: model, avoid, detect, dist, or all")
 		sites     = flag.Int("sites", 3, "sites for the dist pipeline")
 		flip      = flag.Bool("flip", false, "invert the oracle's final verdict (injected disagreement)")
+		traceDir  = flag.String("trace-dir", "", "directory for divergence-saved traces (default: OS temp dir)")
 		verbose   = flag.Bool("v", false, "print each program, schedule and verdict")
 	)
 	flag.Parse()
@@ -70,6 +82,7 @@ func main() {
 			Ops:              *ops,
 			Seed:             *seed + uint64(i),
 			FlipFinalVerdict: *flip,
+			TraceDir:         *traceDir,
 		}
 		if *verbose {
 			fmt.Printf("=== seed %d\n%s", cfg.Seed, sim.Generate(cfg))

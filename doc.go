@@ -50,10 +50,17 @@
 // statuses and each independently checks the merged global view —
 // one-phase, fault-tolerant distributed deadlock detection.
 //
+// Any verifier can additionally record its full transition trace
+// (WithTraceWriter): a compact, CRC-footed binary log of every register /
+// arrive / drop / block / unblock and every delivered verdict, replayable
+// verdict-for-verdict through all verification pipelines with the
+// armus-trace tool (see DESIGN.md "Trace record/replay" and
+// testdata/corpus).
+//
 // # Layout
 //
 // The implementation lives under internal/ (graph, deps, core, barrier,
-// clocked, pl, store, dist, workloads, harness); this package re-exports
-// the public surface. DESIGN.md maps each paper section to a module and
-// EXPERIMENTS.md records the reproduced evaluation.
+// clocked, pl, store, dist, trace, workloads, harness); this package
+// re-exports the public surface. DESIGN.md maps each paper section to a
+// module and EXPERIMENTS.md records the reproduced evaluation.
 package armus

@@ -111,6 +111,9 @@ func (p *Phaser) ID() deps.PhaserID { return p.id }
 // not already be a member. Only signal-capable members participate in the
 // min/atMin bookkeeping that gates awaits.
 func (p *Phaser) addMemberLocked(t *Task, phase int64, mode RegMode) {
+	// Trace the registration before the membership refresh below so a
+	// recorded refresh (a Block event) never precedes its cause.
+	p.v.traceRegister(t.id, p.id, phase, mode)
 	r := &registration{phaser: p, mode: mode}
 	r.phase.Store(phase)
 	if mode != WaitOnly {
@@ -141,6 +144,7 @@ func (p *Phaser) removeMemberLocked(t *Task) {
 	if !ok {
 		return
 	}
+	p.v.traceDrop(t.id, p.id)
 	delete(p.members, t)
 	t.mu.Lock()
 	delete(t.regs, p)
@@ -245,7 +249,9 @@ func (p *Phaser) Arrive(t *Task) (int64, error) {
 	if !ok {
 		return 0, ErrNotRegistered
 	}
-	return p.arriveLocked(r), nil
+	n := p.arriveLocked(r)
+	p.v.traceArrive(t.id, p.id, n)
+	return n, nil
 }
 
 // arriveLocked advances r's phase, maintaining the signal-member min.
@@ -300,6 +306,7 @@ func (p *Phaser) Advance(t *Task) error {
 		return ErrSignalOnlyWait // signal-only members use Arrive
 	}
 	n := p.arriveLocked(r)
+	p.v.traceArrive(t.id, p.id, n)
 	return p.awaitLocked(t, n)
 }
 
@@ -353,6 +360,7 @@ func (p *Phaser) awaitLocked(t *Task, n int64) error {
 		}
 	} else {
 		p.v.state.SetBlocked(b)
+		p.v.traceBlock(b)
 	}
 	p.v.stats.blocks.Add(1)
 	for !p.satisfiedLocked(n) {

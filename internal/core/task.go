@@ -163,6 +163,7 @@ func (t *Task) clearBlocked() {
 	t.blockedOn = nil
 	t.mu.Unlock()
 	t.v.state.Clear(t.id)
+	t.v.traceUnblock(t.id)
 }
 
 // refreshBlockedLocked re-publishes the blocked record after a third party
@@ -172,7 +173,9 @@ func (t *Task) refreshBlockedLocked() {
 	if t.blockedOn == nil {
 		return
 	}
-	t.v.state.SetBlocked(deps.Blocked{Task: t.id, WaitsFor: t.blockedOn, Regs: t.rawRegsLocked()})
+	b := deps.Blocked{Task: t.id, WaitsFor: t.blockedOn, Regs: t.rawRegsLocked()}
+	t.v.state.SetBlocked(b)
+	t.v.traceBlock(b)
 	// The refresh can add impedes edges that no gate will ever see (the
 	// task is already blocked): make the next avoidance gate scan fully.
 	t.v.noteBlockedRefresh()

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"armus/internal/deps"
+	"armus/internal/trace"
+)
+
+// TestTraceTapRecordsBarrierRound pins the tap's event stream for one
+// deterministic two-task barrier round driven from a single goroutine:
+// memberships, the signal, the block/unblock pair, and the balance
+// invariant (every block eventually cleared, no verdicts).
+func TestTraceTapRecordsBarrierRound(t *testing.T) {
+	rec := trace.NewRecorder()
+	v := New(WithMode(ModeAvoid), WithTraceRecorder(rec))
+	defer v.Close()
+
+	a := v.NewTask("a")
+	b := v.NewTask("b")
+	p := v.NewPhaser(a)
+	if err := p.Register(a, b); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Advance(a) }()
+	for v.State().Len() != 1 { // a arrived and parked awaiting b
+		runtime.Gosched()
+	}
+	if err := p.Advance(b); err != nil { // b arrives; both awaits satisfied
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	events := rec.Trace().Events
+	counts := map[trace.Kind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	if counts[trace.KindRegister] != 2 { // creator + b
+		t.Fatalf("recorded %d registers, want 2 (events: %v)", counts[trace.KindRegister], events)
+	}
+	if counts[trace.KindArrive] != 2 {
+		t.Fatalf("recorded %d arrives, want 2", counts[trace.KindArrive])
+	}
+	if counts[trace.KindBlock] != counts[trace.KindUnblock] {
+		t.Fatalf("unbalanced blocks: %d blocks vs %d unblocks",
+			counts[trace.KindBlock], counts[trace.KindUnblock])
+	}
+	if counts[trace.KindBlock] == 0 {
+		t.Fatalf("a's park was not recorded")
+	}
+	if counts[trace.KindVerdict] != 0 {
+		t.Fatalf("deadlock-free round recorded %d verdicts", counts[trace.KindVerdict])
+	}
+	// a's block must record the frozen post-arrival registration vector.
+	for _, e := range events {
+		if e.Kind == trace.KindBlock && e.Task == a.ID() {
+			want := deps.Reg{Phaser: p.ID(), Phase: 1}
+			if len(e.Status.Regs) != 1 || e.Status.Regs[0] != want {
+				t.Fatalf("a's blocked status regs = %v, want [%v]", e.Status.Regs, want)
+			}
+		}
+	}
+}
+
+// TestWithTraceWriterEncodesOnClose: the armus.WithTraceWriter path must
+// produce a decodable trace carrying the verifier's mode.
+func TestWithTraceWriterEncodesOnClose(t *testing.T) {
+	var buf bytes.Buffer
+	v := New(WithMode(ModeAvoid), WithTraceWriter(&buf))
+	a := v.NewTask("a")
+	v.NewPhaser(a)
+	v.Close()
+	tr, err := trace.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Close wrote an undecodable trace: %v", err)
+	}
+	if Mode(tr.Mode) != ModeAvoid {
+		t.Fatalf("trace mode = %v, want avoid", Mode(tr.Mode))
+	}
+	if len(tr.Events) == 0 {
+		t.Fatalf("trace is empty")
+	}
+	v.Close() // idempotent: must not write a second trace
+	if _, err := trace.Decode(buf.Bytes()); err != nil {
+		t.Fatalf("second Close corrupted the stream: %v", err)
+	}
+}

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,7 @@ import (
 
 	"armus/internal/clock"
 	"armus/internal/deps"
+	"armus/internal/trace"
 )
 
 // Mode selects how (and whether) the verifier checks for deadlocks.
@@ -99,6 +101,14 @@ type Verifier struct {
 
 	onDeadlock func(*DeadlockError)
 
+	// rec, when set, receives every verifier transition (register, arrive,
+	// drop, block, unblock, verdict). The taps are nil-guarded, so an
+	// untraced verifier pays one pointer test per transition and the
+	// zero-allocation hot-path guarantees are unaffected. traceOut, when
+	// set, receives the encoded trace on Close.
+	rec      *trace.Recorder
+	traceOut io.Writer
+
 	nextTask   atomic.Int64
 	nextPhaser atomic.Int64
 	taskBase   int64 // folded into task IDs (distributed site offset)
@@ -143,6 +153,27 @@ func WithIDBase(base int64) Option {
 	return func(v *Verifier) { v.taskBase, v.phaserBase = base, base }
 }
 
+// WithTraceRecorder taps the verifier: every transition — register, arrive
+// (signal), drop, block, unblock and every delivered verdict — is appended
+// to r, turning the run into a replayable artifact (internal/trace). The
+// caller owns r and may snapshot it at any time with r.Trace().
+func WithTraceRecorder(r *trace.Recorder) Option {
+	return func(v *Verifier) { v.rec = r }
+}
+
+// WithTraceWriter records like WithTraceRecorder and encodes the finished
+// trace to w when the verifier is closed. An encode failure is logged (the
+// run itself already succeeded or failed on its own terms); callers that
+// need the error handle the recorder themselves via WithTraceRecorder.
+func WithTraceWriter(w io.Writer) Option {
+	return func(v *Verifier) {
+		if v.rec == nil {
+			v.rec = trace.NewRecorder()
+		}
+		v.traceOut = w
+	}
+}
+
 // New creates a verifier and, in detection mode, starts its background
 // checker. Call Close when done.
 func New(opts ...Option) *Verifier {
@@ -160,6 +191,9 @@ func New(opts ...Option) *Verifier {
 	}
 	if v.onDeadlock == nil {
 		v.onDeadlock = func(e *DeadlockError) { log.Printf("armus: %v", e) }
+	}
+	if v.rec != nil {
+		v.rec.SetMode(uint8(v.mode))
 	}
 	if v.mode == ModeDetect {
 		v.detectStop = make(chan struct{})
@@ -188,14 +222,70 @@ func (v *Verifier) TaskName(id deps.TaskID) string {
 	return v.names[id]
 }
 
-// Close stops the background detector, if any. Idempotent.
+// Close stops the background detector, if any, and — when WithTraceWriter
+// is configured — encodes the recorded trace to its writer. Idempotent.
 func (v *Verifier) Close() {
 	v.closeOnce.Do(func() {
 		if v.detectStop != nil {
 			close(v.detectStop)
 			<-v.detectDone
 		}
+		if v.traceOut != nil {
+			if err := trace.Encode(v.traceOut, v.rec.Trace()); err != nil {
+				log.Printf("armus: trace write: %v", err)
+			}
+		}
 	})
+}
+
+// TraceRecorder returns the recorder tapped into this verifier (nil when
+// untraced). The distributed layer uses it to label site traces.
+func (v *Verifier) TraceRecorder() *trace.Recorder { return v.rec }
+
+// The trace taps. Each is nil-guarded so the untraced hot path pays a
+// single branch; the recorder deep-copies slice arguments, so handing it
+// the task-owned status buffers is safe.
+
+func (v *Verifier) traceRegister(t deps.TaskID, q deps.PhaserID, phase int64, m RegMode) {
+	if v.rec != nil {
+		v.rec.Register(t, q, phase, uint8(m))
+	}
+}
+
+func (v *Verifier) traceArrive(t deps.TaskID, q deps.PhaserID, phase int64) {
+	if v.rec != nil {
+		v.rec.Arrive(t, q, phase)
+	}
+}
+
+func (v *Verifier) traceDrop(t deps.TaskID, q deps.PhaserID) {
+	if v.rec != nil {
+		v.rec.Drop(t, q)
+	}
+}
+
+func (v *Verifier) traceBlock(b deps.Blocked) {
+	if v.rec != nil {
+		v.rec.Block(b)
+	}
+}
+
+func (v *Verifier) traceUnblock(t deps.TaskID) {
+	if v.rec != nil {
+		v.rec.Unblock(t)
+	}
+}
+
+func (v *Verifier) traceRejected(b deps.Blocked, c *deps.Cycle) {
+	if v.rec != nil {
+		v.rec.Rejected(b, c.Tasks, c.Resources)
+	}
+}
+
+func (v *Verifier) traceReported(c *deps.Cycle) {
+	if v.rec != nil {
+		v.rec.Reported(c.Tasks, c.Resources)
+	}
 }
 
 // detectLoop is the paper's detection mode: sample the blocked statuses
@@ -224,6 +314,7 @@ func (v *Verifier) detectLoop() {
 		if cyc := v.runCheck(); cyc != nil && ver != reportedVersion {
 			reportedVersion = ver
 			v.stats.deadlocks.Add(1)
+			v.traceReported(cyc)
 			v.onDeadlock(v.newDeadlockError(cyc))
 		}
 	}
@@ -308,6 +399,7 @@ func (v *Verifier) avoidCheck(b deps.Blocked) *deps.Cycle {
 				if recyc, re := v.state.CycleThrough(b.Task, &v.avoidScratch); recyc != nil {
 					v.recordTargetedCheck(re)
 					v.state.Clear(b.Task)
+					v.traceRejected(b, recyc)
 					// A distinct deadlock may persist after the rollback.
 					// full cannot tell us: it was computed with b inserted,
 					// so it may describe b's own (now avoided) cycle, and
@@ -318,19 +410,24 @@ func (v *Verifier) avoidCheck(b deps.Blocked) *deps.Cycle {
 						// Two deadlock events on this path — the rejection
 						// and the persisting report — so a second count.
 						v.stats.deadlocks.Add(1)
+						v.traceReported(rest)
 						v.onDeadlock(v.newDeadlockError(rest))
 					}
 					return recyc
 				}
 				// The cycle is elsewhere: report it and let this task
 				// block (it is not part of the deadlock).
+				v.traceReported(full)
 				v.onDeadlock(v.newDeadlockError(full))
 			}
 		}
+		// The block is accepted: b is (and stays) in the state.
+		v.traceBlock(b)
 		return nil
 	}
 	v.state.Clear(b.Task)
 	v.stats.deadlocks.Add(1)
+	v.traceRejected(b, cyc)
 	return cyc
 }
 

@@ -40,6 +40,7 @@ import (
 	"armus/internal/core"
 	"armus/internal/deps"
 	"armus/internal/store"
+	"armus/internal/trace"
 )
 
 // DefaultPeriod is the publish/check period of the paper's distributed
@@ -78,6 +79,16 @@ func WithPeriod(d time.Duration) Option { return func(s *Site) { s.period = d } 
 // deterministically instead of sleeping through periods.
 func WithClock(c clock.Clock) Option { return func(s *Site) { s.clock = c } }
 
+// WithVerifierTrace taps the site's local verifier with a trace recorder
+// (core.WithTraceRecorder): every local transition of this site — block,
+// unblock, register, arrive, drop — is recorded for later replay. The
+// site's global-check verdicts are not trace events (they are derived
+// state, recomputed by the replayer's observe+dist pipeline); the trace is
+// the site's local contribution to the cluster.
+func WithVerifierTrace(r *trace.Recorder) Option {
+	return func(s *Site) { s.rec = r }
+}
+
 // WithVerifierMode overrides the mode of the site's local verifier. The
 // default is core.ModeObserve: blocked statuses are recorded for publishing
 // but no local checker runs (the global loop is the checker). ModeOff gives
@@ -104,6 +115,7 @@ type Site struct {
 	v          *core.Verifier
 	client     *store.Client
 	onDeadlock func(*core.DeadlockError)
+	rec        *trace.Recorder
 
 	seq   atomic.Uint64
 	stats siteStats
@@ -150,11 +162,18 @@ func NewSite(id int, addr string, opts ...Option) *Site {
 	if s.onDeadlock == nil {
 		s.onDeadlock = func(e *core.DeadlockError) { log.Printf("armus: site %d: %v", id, e) }
 	}
-	s.v = core.New(
+	copts := []core.Option{
 		core.WithMode(s.mode),
 		core.WithModel(s.model),
-		core.WithIDBase(int64(id)<<SiteIDShift),
-	)
+		core.WithIDBase(int64(id) << SiteIDShift),
+	}
+	if s.rec != nil {
+		if s.rec.Label() == "" {
+			s.rec.SetLabel(fmt.Sprintf("site %d", id))
+		}
+		copts = append(copts, core.WithTraceRecorder(s.rec))
+	}
+	s.v = core.New(copts...)
 	return s
 }
 

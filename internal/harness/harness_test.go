@@ -157,6 +157,21 @@ func TestRunTable3Tiny(t *testing.T) {
 	}
 }
 
+func TestRunReplayTiny(t *testing.T) {
+	tab, err := RunReplay(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 { // avoid, detect, dist
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] == "0" {
+			t.Fatalf("%s replayed an empty trace", row[0])
+		}
+	}
+}
+
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
 	names := ExperimentNames()

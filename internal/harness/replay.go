@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"armus/internal/core"
+	"armus/internal/trace"
+	"armus/internal/trace/replay"
+	"armus/internal/workloads/npb"
+)
+
+// RunReplay benchmarks trace-replay throughput (events/sec): a trace is
+// recorded in-process from the CG kernel under a live avoidance-mode
+// verifier, then replayed o.Samples times (after a discarded warm-up)
+// through each pipeline, with verdict-for-verdict equivalence asserted
+// across the three pipelines' results. The numbers bound how fast the testdata/corpus regression
+// gate and the divergence-repro workflow can chew through recorded
+// executions: avoid and detect replays are in-memory (the avoid row
+// exercises the targeted index gate per mutation, detect the full
+// graph-build scan), while dist pays a real store round trip per verdict,
+// which is exactly why its events/sec sits orders of magnitude lower.
+func RunReplay(o Options) (*Table, error) {
+	o.defaults()
+	rec := trace.NewRecorder()
+	rec.SetLabel(fmt.Sprintf("harness: npb CG (%d tasks, class %d, avoid)", o.TasksPerSite*2, o.Class))
+	v := core.New(core.WithMode(core.ModeAvoid), core.WithTraceRecorder(rec))
+	if _, err := npb.RunCG(v, npb.Config{Tasks: o.TasksPerSite * 2, Class: o.Class}); err != nil {
+		v.Close()
+		return nil, fmt.Errorf("replay: recording CG: %w", err)
+	}
+	v.Close()
+	tr := rec.Trace()
+
+	t := &Table{
+		Title: fmt.Sprintf("Replay throughput: %d-event CG trace (%d mutations), %d replays per pipeline",
+			len(tr.Events), tr.Mutations(), o.Samples),
+		Header: []string{"Pipeline", "Events", "Mutations", "Mean", "CI", "Events/s"},
+	}
+	ro := replay.Options{Sites: o.Sites}
+	var lastPerPipeline []*replay.Result
+	for _, p := range replay.Pipelines() {
+		var m Measurement
+		var last *replay.Result
+		for i := 0; i <= o.Samples; i++ {
+			start := time.Now()
+			r, err := replay.ReplayTrace(tr, p, ro)
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("replay/%v: %w", p, err)
+			}
+			if r.Deadlocked || r.DeadlockSteps != 0 {
+				return nil, fmt.Errorf("replay/%v: deadlock verdict on a deadlock-free kernel trace", p)
+			}
+			last = r
+			if i == 0 {
+				continue // warm-up discarded (start-up methodology)
+			}
+			m.Samples = append(m.Samples, elapsed)
+		}
+		lastPerPipeline = append(lastPerPipeline, last)
+		perSec := float64(len(tr.Events)) / m.Mean().Seconds()
+		t.Rows = append(t.Rows, []string{
+			p.String(),
+			fmt.Sprintf("%d", len(tr.Events)),
+			fmt.Sprintf("%d", tr.Mutations()),
+			Dur(m.Mean()), Dur(m.CI95()),
+			fmt.Sprintf("%.0f", perSec),
+		})
+	}
+	// The experiment is a correctness gate too: the three pipelines must
+	// have reached identical per-mutation verdict sequences.
+	if err := replay.Equivalent(lastPerPipeline...); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	t.Fprint(o.Out)
+	return t, nil
+}

@@ -148,6 +148,11 @@ type Config struct {
 	// prove that a divergence really fails the harness and reproduces
 	// from its printed seed.
 	FlipFinalVerdict bool
+	// TraceDir is where a divergence auto-saves its recorded verifier
+	// trace ("" = the OS temp directory). The saved trace is prefix-
+	// minimized — recording stops at the failing step — and replays with
+	// `armus-trace replay` independently of the sim harness.
+	TraceDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -185,6 +190,9 @@ type Divergence struct {
 	Step     int // index into Schedule; -1 for end-of-run checks
 	Schedule []int
 	Detail   string
+	// TracePath is the auto-saved verifier trace of the diverging run
+	// ("" when the run had no real verifier to record, e.g. model mode).
+	TracePath string
 }
 
 func (d *Divergence) Error() string {
@@ -192,6 +200,11 @@ func (d *Divergence) Error() string {
 	if d.Step >= 0 {
 		at = fmt.Sprintf("step %d", d.Step)
 	}
-	return fmt.Sprintf("sim divergence (%s mode) at %s: %s\n  schedule: %v\n  reproduce: %s",
+	s := fmt.Sprintf("sim divergence (%s mode) at %s: %s\n  schedule: %v\n  reproduce: %s",
 		d.Mode, at, d.Detail, d.Schedule, d.Cfg.Repro(d.Mode))
+	if d.TracePath != "" {
+		s += fmt.Sprintf("\n  trace: %s\n  replay trace: go run ./cmd/armus-trace replay -pipeline all %s",
+			d.TracePath, d.TracePath)
+	}
+	return s
 }

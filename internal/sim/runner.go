@@ -3,7 +3,9 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"log"
 	"math/rand/v2"
+	"os"
 	"runtime"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"armus/internal/core"
 	"armus/internal/deps"
 	"armus/internal/sim/oracle"
+	"armus/internal/trace"
 )
 
 // RunMode selects what the runner drives alongside the abstract machine.
@@ -58,6 +61,10 @@ type Result struct {
 	FinalBlocked []deps.Blocked
 	Rejections   int // avoidance-gate rejections (RunAvoid)
 	Reports      int // deadlock reports delivered by the runtime
+	// Trace is the recorded verifier trace of the run (nil in model mode,
+	// which drives no real verifier). cmd/armus-trace record -sim uses it
+	// to mint corpus entries from interesting seeds.
+	Trace *trace.Trace
 }
 
 // Run generates cfg's program and executes one seeded schedule of it in
@@ -83,6 +90,7 @@ type driver struct {
 
 	v       *core.Verifier
 	fc      *clock.Fake
+	rec     *trace.Recorder
 	tasks   []*core.Task
 	phasers []*core.Phaser
 	idxOf   map[deps.TaskID]int
@@ -124,22 +132,73 @@ func RunProgram(prog *Program, cfg Config, mode RunMode) (*Result, error) {
 		d.sched = append(d.sched, t)
 		if div := d.step(t); div != nil {
 			d.res.Schedule = d.sched
+			if d.rec != nil {
+				d.res.Trace = d.rec.Trace()
+			}
+			d.saveTrace(div)
 			return d.res, div
 		}
 	}
-	return d.finish()
+	r, err := d.finish()
+	if d.rec != nil {
+		r.Trace = d.rec.Trace()
+	}
+	var div *Divergence
+	if errors.As(err, &div) {
+		d.saveTrace(div)
+	}
+	return r, err
+}
+
+// saveTrace writes the recorded verifier trace of a diverging run to
+// cfg.TraceDir (default: the OS temp dir) and stamps its path into the
+// divergence report. The trace is prefix-minimized: recording stops at the
+// failing step, so the file holds exactly the transitions leading up to
+// the divergence (the deferred cleanup's terminations happen after the
+// snapshot). Trace I/O must never mask the divergence itself, so failures
+// here are logged, not returned — the (seed, schedule) repro line still
+// stands; only the trace: lines go missing from the report.
+func (d *driver) saveTrace(div *Divergence) {
+	if d.rec == nil || div == nil {
+		return
+	}
+	dir := d.cfg.TraceDir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, fmt.Sprintf("armus-sim-seed%d-%s-*.trace", d.cfg.Seed, d.mode))
+	if err != nil {
+		log.Printf("sim: divergence trace not saved: %v", err)
+		return
+	}
+	if err := trace.Encode(f, d.rec.Trace()); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		log.Printf("sim: divergence trace not saved: %v", err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		log.Printf("sim: divergence trace not saved: %v", err)
+		return
+	}
+	div.TracePath = f.Name()
 }
 
 // startRuntime creates the verifier, tasks and phasers and applies the
 // program's initial memberships through a transient setup task.
 func (d *driver) startRuntime() error {
 	d.reports = make(chan *core.DeadlockError, 1024)
-	opts := []core.Option{core.WithOnDeadlock(func(e *core.DeadlockError) {
-		select {
-		case d.reports <- e:
-		default:
-		}
-	})}
+	d.rec = trace.NewRecorder()
+	d.rec.SetLabel(fmt.Sprintf("sim seed %d (%s, %d tasks, %d phasers, %d ops)",
+		d.cfg.Seed, d.mode, d.cfg.Tasks, d.cfg.Phasers, d.cfg.Ops))
+	opts := []core.Option{core.WithTraceRecorder(d.rec),
+		core.WithOnDeadlock(func(e *core.DeadlockError) {
+			select {
+			case d.reports <- e:
+			default:
+			}
+		})}
 	switch d.mode {
 	case RunAvoid:
 		opts = append(opts, core.WithMode(core.ModeAvoid))

@@ -168,6 +168,7 @@ func TestInjectedDisagreementReproduces(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
 		cfg := shapeFor(seed)
 		cfg.FlipFinalVerdict = true
+		cfg.TraceDir = t.TempDir()
 		check := func(what string, run func() error) {
 			t.Helper()
 			first := run()
@@ -183,9 +184,20 @@ func TestInjectedDisagreementReproduces(t *testing.T) {
 				!strings.Contains(msg, "-flip") {
 				t.Fatalf("divergence message lacks reproduction line: %s", msg)
 			}
-			// Replay from the printed configuration: same failure.
+			// Replay from the printed configuration: same failure. The
+			// auto-saved trace path is the one legitimately fresh part of
+			// the report, so it is normalized out of the comparison.
 			second := run()
-			if second == nil || second.Error() != first.Error() {
+			if second == nil {
+				t.Fatalf("seed %d %s: divergence did not reproduce (second run clean)", seed, what)
+			}
+			div2, ok := second.(*Divergence)
+			if !ok {
+				t.Fatalf("seed %d %s: second error is %T, want *Divergence", seed, what, second)
+			}
+			a, b := *div, *div2
+			a.TracePath, b.TracePath = "", ""
+			if a.Error() != b.Error() {
 				t.Fatalf("seed %d %s: divergence did not reproduce:\nfirst:  %v\nsecond: %v",
 					seed, what, first, second)
 			}

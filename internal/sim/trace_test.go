@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"armus/internal/trace"
+	"armus/internal/trace/replay"
+)
+
+// TestDivergenceSavesReplayableTrace: an injected disagreement must leave
+// behind a decodable trace whose replay (through every pipeline) agrees
+// with itself — the bug artifact the divergence report points at.
+func TestDivergenceSavesReplayableTrace(t *testing.T) {
+	cfg := Config{Seed: 7, FlipFinalVerdict: true, TraceDir: t.TempDir()}
+	_, err := Run(cfg, RunAvoid)
+	if err == nil {
+		t.Fatalf("flipped verdict not caught")
+	}
+	var div *Divergence
+	if !errors.As(err, &div) {
+		t.Fatalf("error is %T, want *Divergence", err)
+	}
+	if div.TracePath == "" {
+		t.Fatalf("divergence did not auto-save a trace: %v", div)
+	}
+	tr, rerr := trace.ReadFile(div.TracePath)
+	if rerr != nil {
+		t.Fatalf("saved trace unreadable: %v", rerr)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatalf("saved trace is empty")
+	}
+	if _, rerr := replay.VerifyAll(tr, replay.Options{}); rerr != nil {
+		t.Fatalf("saved trace does not replay cleanly: %v", rerr)
+	}
+}
+
+// TestCleanRunExposesTrace: a completed run hands its trace back on the
+// Result, which is how corpus entries are minted from interesting seeds.
+func TestCleanRunExposesTrace(t *testing.T) {
+	r, err := Run(Config{Seed: 31}, RunAvoid)
+	if err != nil {
+		t.Fatalf("seed 31: %v", err)
+	}
+	if r.Trace == nil || len(r.Trace.Events) == 0 {
+		t.Fatalf("run returned no trace")
+	}
+	if _, err := replay.VerifyAll(r.Trace, replay.Options{}); err != nil {
+		t.Fatalf("seed 31 trace does not replay cleanly: %v", err)
+	}
+}

@@ -1,0 +1,621 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"armus/internal/deps"
+)
+
+// The trace wire format follows the codec discipline of internal/dist's
+// snapshot codec: hand-rolled varints (compact, allocation-light), every
+// length validated before it is allocated, and a version baked into the
+// magic so an incompatible change is rejected up front rather than
+// misparsed. On top of that, traces are files that outlive the process that
+// wrote them, so the format is framed and integrity-checked:
+//
+//	magic "ARMUSTR1"
+//	header frame:  uvarint len, then
+//	    uvarint headerVersion (1)
+//	    uvarint mode                      (numeric core.Mode of the recorder)
+//	    uvarint len(label), label bytes
+//	event frames:  uvarint len (> 0), then
+//	    uvarint kind, then per kind:
+//	    register: varint task, varint phaser, varint phase, uvarint mode
+//	    arrive:   varint task, varint phaser, varint phase
+//	    drop:     varint task, varint phaser
+//	    block:    status
+//	    unblock:  varint task
+//	    verdict:  uvarint verdictKind,
+//	              status (rejected only),
+//	              uvarint len(tasks)     then per task: varint task
+//	              uvarint len(resources) then per event: varint phaser, varint phase
+//	    where status = varint task,
+//	                   uvarint len(waitsFor) then varint phaser, varint phase
+//	                   uvarint len(regs)     then varint phaser, varint phase
+//	footer: uvarint 0 (end sentinel), then 4 bytes little-endian CRC-32
+//	    (IEEE) over every preceding byte, magic through sentinel inclusive
+//
+// Varint framing lets a reader skip nothing and trust nothing: a frame
+// length larger than what remains, an item count larger than the frame, an
+// unknown kind, unconsumed frame bytes, a missing sentinel or a CRC
+// mismatch are all hard errors — a truncated or bit-rotted corpus file
+// fails loudly instead of replaying a silently different execution.
+// Signed fields use zig-zag varints so distributed IDs (site offsets near
+// the top of the int64 range) round-trip compactly.
+
+// traceMagic versions the wire format; bump the trailing digit on any
+// incompatible change.
+const traceMagic = "ARMUSTR1"
+
+// headerVersion is the header layout version inside the current magic.
+const headerVersion = 1
+
+// maxTraceItems bounds every decoded length (items per list, bytes per
+// label or frame) so corrupt input cannot make a reader allocate unbounded
+// memory before validation catches it.
+const maxTraceItems = 1 << 20
+
+// Writer streams a trace to an io.Writer: header at creation, one framed
+// event per WriteEvent, CRC footer at Close. Writes are buffered.
+type Writer struct {
+	w   *bufio.Writer
+	crc uint32
+	buf []byte
+	err error
+}
+
+// NewWriter writes the magic and header for a trace with the given label
+// and recording mode and returns the event writer.
+func NewWriter(w io.Writer, label string, mode uint8) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriter(w)}
+	// Headroom for the version/mode/length varints: the whole header frame
+	// must stay under the reader's frame cap, or we would mint a trace no
+	// reader accepts back.
+	if len(label) > maxTraceItems-16 {
+		return nil, fmt.Errorf("trace: label of %d bytes exceeds limit", len(label))
+	}
+	hdr := binary.AppendUvarint(nil, headerVersion)
+	hdr = binary.AppendUvarint(hdr, uint64(mode))
+	hdr = binary.AppendUvarint(hdr, uint64(len(label)))
+	hdr = append(hdr, label...)
+	if err := tw.writeRaw([]byte(traceMagic)); err != nil {
+		return nil, err
+	}
+	if err := tw.writeFrame(hdr); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+func (tw *Writer) writeRaw(p []byte) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.crc = crc32.Update(tw.crc, crc32.IEEETable, p)
+	if _, err := tw.w.Write(p); err != nil {
+		tw.err = err
+	}
+	return tw.err
+}
+
+func (tw *Writer) writeFrame(payload []byte) error {
+	// Enforce the reader's frame cap at write time: an oversized event
+	// must fail the recording, not mint a permanent artifact that every
+	// future decode rejects.
+	if len(payload) > maxTraceItems {
+		if tw.err == nil {
+			tw.err = fmt.Errorf("trace: frame of %d bytes exceeds limit", len(payload))
+		}
+		return tw.err
+	}
+	tw.buf = binary.AppendUvarint(tw.buf[:0], uint64(len(payload)))
+	if err := tw.writeRaw(tw.buf); err != nil {
+		return err
+	}
+	return tw.writeRaw(payload)
+}
+
+// WriteEvent appends one framed event.
+func (tw *Writer) WriteEvent(e Event) error {
+	payload, err := appendEvent(nil, e)
+	if err != nil {
+		if tw.err == nil {
+			tw.err = err
+		}
+		return err
+	}
+	return tw.writeFrame(payload)
+}
+
+// Close writes the end sentinel and the CRC footer and flushes. It does
+// not close the underlying writer.
+func (tw *Writer) Close() error {
+	if err := tw.writeRaw([]byte{0}); err != nil { // uvarint 0 sentinel
+		return err
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], tw.crc)
+	if tw.err == nil {
+		if _, err := tw.w.Write(foot[:]); err != nil {
+			tw.err = err
+		}
+	}
+	if tw.err == nil {
+		tw.err = tw.w.Flush()
+	}
+	return tw.err
+}
+
+func appendEvent(buf []byte, e Event) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(e.Kind))
+	switch e.Kind {
+	case KindRegister:
+		buf = binary.AppendVarint(buf, int64(e.Task))
+		buf = binary.AppendVarint(buf, int64(e.Phaser))
+		buf = binary.AppendVarint(buf, e.Phase)
+		buf = binary.AppendUvarint(buf, uint64(e.Mode))
+	case KindArrive:
+		buf = binary.AppendVarint(buf, int64(e.Task))
+		buf = binary.AppendVarint(buf, int64(e.Phaser))
+		buf = binary.AppendVarint(buf, e.Phase)
+	case KindDrop:
+		buf = binary.AppendVarint(buf, int64(e.Task))
+		buf = binary.AppendVarint(buf, int64(e.Phaser))
+	case KindBlock:
+		buf = appendStatus(buf, e.Status)
+	case KindUnblock:
+		buf = binary.AppendVarint(buf, int64(e.Task))
+	case KindVerdict:
+		buf = binary.AppendUvarint(buf, uint64(e.Verdict))
+		switch e.Verdict {
+		case VerdictRejected:
+			buf = appendStatus(buf, e.Status)
+		case VerdictReported:
+		default:
+			return nil, fmt.Errorf("trace: cannot encode verdict kind %d", e.Verdict)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(e.Tasks)))
+		for _, t := range e.Tasks {
+			buf = binary.AppendVarint(buf, int64(t))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(e.Resources)))
+		for _, r := range e.Resources {
+			buf = binary.AppendVarint(buf, int64(r.Phaser))
+			buf = binary.AppendVarint(buf, r.Phase)
+		}
+	default:
+		return nil, fmt.Errorf("trace: cannot encode event kind %d", e.Kind)
+	}
+	return buf, nil
+}
+
+func appendStatus(buf []byte, b deps.Blocked) []byte {
+	buf = binary.AppendVarint(buf, int64(b.Task))
+	buf = binary.AppendUvarint(buf, uint64(len(b.WaitsFor)))
+	for _, r := range b.WaitsFor {
+		buf = binary.AppendVarint(buf, int64(r.Phaser))
+		buf = binary.AppendVarint(buf, r.Phase)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b.Regs)))
+	for _, r := range b.Regs {
+		buf = binary.AppendVarint(buf, int64(r.Phaser))
+		buf = binary.AppendVarint(buf, r.Phase)
+	}
+	return buf
+}
+
+// Reader streams a trace from an io.Reader, validating framing as it goes
+// and the CRC footer at the end. Next returns io.EOF exactly once the
+// whole trace has been read and verified.
+type Reader struct {
+	r     *bufio.Reader
+	crc   uint32
+	label string
+	mode  uint8
+	done  bool
+	err   error
+}
+
+// NewReader checks the magic, reads the header, and returns the event
+// reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	tr := &Reader{r: bufio.NewReader(r)}
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(tr.r, magic); err != nil {
+		return nil, fmt.Errorf("trace: short magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	tr.crc = crc32.Update(tr.crc, crc32.IEEETable, magic)
+	hdr, err := tr.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if hdr == nil {
+		return nil, fmt.Errorf("trace: missing header frame")
+	}
+	d := &eventDecoder{buf: hdr}
+	ver, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != headerVersion {
+		return nil, fmt.Errorf("trace: unsupported header version %d", ver)
+	}
+	mode, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if mode > 0xff {
+		return nil, fmt.Errorf("trace: mode %d out of range", mode)
+	}
+	tr.mode = uint8(mode)
+	n, err := d.length()
+	if err != nil {
+		return nil, fmt.Errorf("trace: label: %w", err)
+	}
+	tr.label = string(d.buf[:n])
+	d.buf = d.buf[n:]
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("trace: %d trailing header bytes", len(d.buf))
+	}
+	return tr, nil
+}
+
+// Label returns the header label.
+func (tr *Reader) Label() string { return tr.label }
+
+// Mode returns the numeric core.Mode of the recording verifier.
+func (tr *Reader) Mode() uint8 { return tr.mode }
+
+// readByte reads one byte, feeding the running CRC.
+func (tr *Reader) readByte() (byte, error) {
+	b, err := tr.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, fmt.Errorf("trace: truncated: %w", err)
+	}
+	tr.crc = crc32.Update(tr.crc, crc32.IEEETable, []byte{b})
+	return b, nil
+}
+
+func (tr *Reader) readUvarint() (uint64, error) {
+	var v uint64
+	for shift := 0; ; shift += 7 {
+		if shift >= 64 {
+			return 0, fmt.Errorf("trace: uvarint overflow")
+		}
+		b, err := tr.readByte()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+}
+
+// readFrame reads one length-prefixed frame; it returns (nil, nil) at the
+// end sentinel, after verifying the CRC footer and that nothing trails it.
+func (tr *Reader) readFrame() ([]byte, error) {
+	n, err := tr.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		// End sentinel: the CRC footer covers everything read so far
+		// (sentinel included) and must be the final bytes of the stream.
+		want := tr.crc
+		var foot [4]byte
+		if _, err := io.ReadFull(tr.r, foot[:]); err != nil {
+			return nil, fmt.Errorf("trace: short CRC footer: %w", err)
+		}
+		if got := binary.LittleEndian.Uint32(foot[:]); got != want {
+			return nil, fmt.Errorf("trace: CRC mismatch: footer %08x, computed %08x", got, want)
+		}
+		if _, err := tr.r.ReadByte(); err != io.EOF {
+			return nil, fmt.Errorf("trace: trailing bytes after CRC footer")
+		}
+		return nil, nil
+	}
+	if n > maxTraceItems {
+		return nil, fmt.Errorf("trace: frame of %d bytes exceeds limit", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(tr.r, frame); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("trace: truncated: %w", err)
+	}
+	tr.crc = crc32.Update(tr.crc, crc32.IEEETable, frame)
+	return frame, nil
+}
+
+// Next returns the next event. It returns io.EOF after the final event,
+// once the end sentinel and CRC footer have been verified.
+func (tr *Reader) Next() (Event, error) {
+	if tr.err != nil {
+		return Event{}, tr.err
+	}
+	if tr.done {
+		return Event{}, io.EOF
+	}
+	frame, err := tr.readFrame()
+	if err != nil {
+		tr.err = err
+		return Event{}, err
+	}
+	if frame == nil {
+		tr.done = true
+		return Event{}, io.EOF
+	}
+	e, err := decodeEvent(frame)
+	if err != nil {
+		tr.err = err
+		return Event{}, err
+	}
+	return e, nil
+}
+
+// eventDecoder is a cursor over one frame.
+type eventDecoder struct{ buf []byte }
+
+func (d *eventDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: truncated frame")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *eventDecoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: truncated frame")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+// length decodes an item count, rejecting counts that could not possibly
+// fit in the remaining frame (every item costs at least one byte) before
+// anything is allocated.
+func (d *eventDecoder) length() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxTraceItems || v > uint64(len(d.buf)) {
+		return 0, fmt.Errorf("trace: length %d exceeds limit", v)
+	}
+	return int(v), nil
+}
+
+func (d *eventDecoder) status() (deps.Blocked, error) {
+	var b deps.Blocked
+	t, err := d.varint()
+	if err != nil {
+		return b, err
+	}
+	b.Task = deps.TaskID(t)
+	nw, err := d.length()
+	if err != nil {
+		return b, err
+	}
+	if nw > 0 {
+		b.WaitsFor = make([]deps.Resource, 0, nw)
+	}
+	for i := 0; i < nw; i++ {
+		q, err := d.varint()
+		if err != nil {
+			return b, err
+		}
+		ph, err := d.varint()
+		if err != nil {
+			return b, err
+		}
+		b.WaitsFor = append(b.WaitsFor, deps.Resource{Phaser: deps.PhaserID(q), Phase: ph})
+	}
+	nr, err := d.length()
+	if err != nil {
+		return b, err
+	}
+	if nr > 0 {
+		b.Regs = make([]deps.Reg, 0, nr)
+	}
+	for i := 0; i < nr; i++ {
+		q, err := d.varint()
+		if err != nil {
+			return b, err
+		}
+		ph, err := d.varint()
+		if err != nil {
+			return b, err
+		}
+		b.Regs = append(b.Regs, deps.Reg{Phaser: deps.PhaserID(q), Phase: ph})
+	}
+	return b, nil
+}
+
+func decodeEvent(frame []byte) (Event, error) {
+	d := &eventDecoder{buf: frame}
+	var e Event
+	kind, err := d.uvarint()
+	if err != nil {
+		return e, err
+	}
+	e.Kind = Kind(kind)
+	switch e.Kind {
+	case KindRegister:
+		var t, q int64
+		if t, err = d.varint(); err == nil {
+			if q, err = d.varint(); err == nil {
+				if e.Phase, err = d.varint(); err == nil {
+					var m uint64
+					if m, err = d.uvarint(); err == nil && m > 0xff {
+						err = fmt.Errorf("trace: register mode %d out of range", m)
+					} else {
+						e.Mode = uint8(m)
+					}
+				}
+			}
+		}
+		e.Task, e.Phaser = deps.TaskID(t), deps.PhaserID(q)
+	case KindArrive:
+		var t, q int64
+		if t, err = d.varint(); err == nil {
+			if q, err = d.varint(); err == nil {
+				e.Phase, err = d.varint()
+			}
+		}
+		e.Task, e.Phaser = deps.TaskID(t), deps.PhaserID(q)
+	case KindDrop:
+		var t, q int64
+		if t, err = d.varint(); err == nil {
+			q, err = d.varint()
+		}
+		e.Task, e.Phaser = deps.TaskID(t), deps.PhaserID(q)
+	case KindBlock:
+		e.Status, err = d.status()
+		e.Task = e.Status.Task
+	case KindUnblock:
+		var t int64
+		t, err = d.varint()
+		e.Task = deps.TaskID(t)
+	case KindVerdict:
+		var vk uint64
+		if vk, err = d.uvarint(); err == nil {
+			e.Verdict = VerdictKind(vk)
+			switch e.Verdict {
+			case VerdictRejected:
+				e.Status, err = d.status()
+				e.Task = e.Status.Task
+			case VerdictReported:
+			default:
+				err = fmt.Errorf("trace: unknown verdict kind %d", vk)
+			}
+		}
+		if err == nil {
+			var nt int
+			if nt, err = d.length(); err == nil {
+				if nt > 0 {
+					e.Tasks = make([]deps.TaskID, 0, nt)
+				}
+				for i := 0; i < nt && err == nil; i++ {
+					var t int64
+					if t, err = d.varint(); err == nil {
+						e.Tasks = append(e.Tasks, deps.TaskID(t))
+					}
+				}
+			}
+		}
+		if err == nil {
+			var nr int
+			if nr, err = d.length(); err == nil {
+				if nr > 0 {
+					e.Resources = make([]deps.Resource, 0, nr)
+				}
+				for i := 0; i < nr && err == nil; i++ {
+					var q, ph int64
+					if q, err = d.varint(); err == nil {
+						if ph, err = d.varint(); err == nil {
+							e.Resources = append(e.Resources, deps.Resource{Phaser: deps.PhaserID(q), Phase: ph})
+						}
+					}
+				}
+			}
+		}
+	default:
+		err = fmt.Errorf("trace: unknown event kind %d", kind)
+	}
+	if err != nil {
+		return Event{}, err
+	}
+	if len(d.buf) != 0 {
+		return Event{}, fmt.Errorf("trace: %d unconsumed bytes in %v frame", len(d.buf), e.Kind)
+	}
+	return e, nil
+}
+
+// Encode writes the whole trace to w: header, every event, CRC footer.
+func Encode(w io.Writer, t *Trace) error {
+	tw, err := NewWriter(w, t.Label, t.Mode)
+	if err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if err := tw.WriteEvent(e); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}
+
+// Decode parses a complete encoded trace, validating framing and CRC. Any
+// malformation is an error.
+func Decode(data []byte) (*Trace, error) {
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Label: r.Label(), Mode: r.Mode()}
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Events = append(t.Events, e)
+	}
+}
+
+// WriteFile encodes the trace to path (0644, truncating).
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes the trace at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	t := &Trace{Label: r.Label(), Mode: r.Mode()}
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		t.Events = append(t.Events, e)
+	}
+}

@@ -1,0 +1,44 @@
+package replay
+
+import (
+	"path/filepath"
+	"testing"
+
+	"armus/internal/trace"
+)
+
+// TestCorpusReplay replays every checked-in trace under testdata/corpus/
+// through all three pipelines with verdict-for-verdict equivalence — the
+// in-tree twin of the CI trace-corpus job (which drives the same corpus
+// through cmd/armus-trace). Every trace must carry at least one state
+// mutation: an accidentally empty artifact would "agree" about nothing.
+func TestCorpusReplay(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "..", "testdata", "corpus", "*.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no corpus traces found (testdata/corpus is part of the repo)")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			tr, err := trace.ReadFile(path)
+			if err != nil {
+				t.Fatalf("unreadable: %v", err)
+			}
+			if tr.Mutations() == 0 {
+				t.Fatalf("corpus trace has no mutations (label %q)", tr.Label)
+			}
+			results, err := VerifyAll(tr, Options{})
+			if err != nil {
+				t.Fatalf("%q: %v", tr.Label, err)
+			}
+			for _, r := range results {
+				if r.Events != len(tr.Events) {
+					t.Fatalf("%v consumed %d of %d events", r.Pipeline, r.Events, len(tr.Events))
+				}
+			}
+		})
+	}
+}
