@@ -1,0 +1,97 @@
+// Command armus-serve runs the Armus verification service
+// (internal/server): a multi-tenant TCP server that ingests verifier
+// events from remote client processes (internal/client SDK, or anything
+// speaking the internal/trace stream format) and serves deadlock
+// verdicts — gated blocks for avoidance sessions, pushed reports for
+// detection sessions.
+//
+//	armus-serve -listen 127.0.0.1:7777 -http 127.0.0.1:7778
+//
+// Observability: GET /healthz (liveness JSON) and GET /metrics
+// (Prometheus text: sessions, events, queue depth, gate verdicts, ...)
+// on the -http address.
+//
+// Lifecycle: SIGINT/SIGTERM drains gracefully (stop accepting, goodbye
+// every client, wait up to -drain-grace, exit 0); a second signal
+// force-closes immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"armus/internal/server"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7777", "TCP address to serve the verification protocol on")
+		httpAddr = flag.String("http", "", "HTTP address for /healthz and /metrics (empty disables)")
+		lease    = flag.Duration("lease", 30*time.Second, "how long a session with no connections survives before GC")
+		sweep    = flag.Duration("sweep", time.Second, "janitor period (lease granularity)")
+		grace    = flag.Duration("drain-grace", 5*time.Second, "graceful-shutdown wait for connections to finish")
+		batch    = flag.Int("batch", 256, "max events applied per session-lock acquisition")
+		queue    = flag.Int("queue", 256, "per-connection outbound response queue bound")
+		quiet    = flag.Bool("quiet", false, "suppress per-session log lines")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Addr:        *listen,
+		Lease:       *lease,
+		SweepPeriod: *sweep,
+		DrainGrace:  *grace,
+		MaxBatch:    *batch,
+		QueueLen:    *queue,
+	}
+	if *quiet {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "armus-serve:", err)
+		os.Exit(1)
+	}
+	log.Printf("armus-serve: listening on %s (lease %v, batch %d, queue %d)",
+		s.Addr(), *lease, *batch, *queue)
+
+	var hs *http.Server
+	if *httpAddr != "" {
+		hs = &http.Server{Addr: *httpAddr, Handler: s.Handler()}
+		go func() {
+			log.Printf("armus-serve: /healthz and /metrics on http://%s", *httpAddr)
+			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("armus-serve: http: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	first := <-sig
+	log.Printf("armus-serve: %v received, draining (grace %v; signal again to force)", first, *grace)
+	done := make(chan struct{})
+	go func() {
+		s.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-sig:
+		log.Printf("armus-serve: second signal, closing now")
+		s.Close()
+		<-done
+	}
+	if hs != nil {
+		hs.Close()
+	}
+	m := s.Metrics()
+	log.Printf("armus-serve: bye (served %d conns, %d sessions, %d events, %d gate rejections, %d reports)",
+		m.ConnsTotal, m.SessionsTotal, m.Events, m.GateRejected, m.Reports)
+}

@@ -1,0 +1,657 @@
+// Package client is the Go SDK for armus-serve (internal/server): it
+// streams verifier events to a remote verification session and surfaces
+// the session's verdicts.
+//
+// The outbound side is a non-blocking buffered emitter: Register, Arrive,
+// Drop, Unblock and detection-mode Block enqueue an event and return
+// immediately; a writer goroutine drains the queue into the trace-format
+// wire stream in batches. Enqueueing only blocks once the buffer is full —
+// that is the backpressure contract, never unbounded memory.
+//
+// Block in an avoidance session round-trips the server's gate: it returns
+// nil when the block was admitted and *GateError (carrying the refused
+// cycle) when admitting it would have closed a deadlock — the remote
+// analogue of core's avoidance mode returning *DeadlockError. Checkpoint
+// round-trips a verdict query ("is the session deadlocked right now") and
+// doubles as a write barrier: everything emitted before it has been
+// applied when it returns.
+//
+// The client reconnects automatically: the server keeps a detached
+// session alive for a lease, so after a transport failure the client
+// redials with backoff, reattaches to the same session, and re-submits
+// the in-flight gate and checkpoint round-trips (SetBlocked is a refresh,
+// re-checking a verdict is idempotent — at-least-once is safe for both).
+// Fire-and-forget events buffered but unwritten survive a reconnect;
+// events written into a dying socket may be lost (at-most-once), exactly
+// like an in-process verifier losing its process.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/server/proto"
+	"armus/internal/trace"
+)
+
+// ErrClosed is returned once Close has been called.
+var ErrClosed = errors.New("client: closed")
+
+// Config configures a client. Addr, Session and Mode are required.
+type Config struct {
+	// Addr is the armus-serve TCP address.
+	Addr string
+	// Session names the session to attach to; every client naming the
+	// same session shares one verifier state.
+	Session string
+	// Mode is the session verification mode: core.ModeAvoid (gated
+	// blocks) or core.ModeDetect (reports pushed on deadlock).
+	Mode core.Mode
+	// Subscribe asks for deadlock reports; they arrive via OnReport.
+	Subscribe bool
+	// OnReport receives pushed deadlock reports (called from the reader
+	// goroutine; keep it brief).
+	OnReport func(Report)
+	// OnDisconnect observes transport failures before the reconnect
+	// attempts (optional, diagnostics only).
+	OnDisconnect func(error)
+	// Buffer is the emitter queue length (default 1024).
+	Buffer int
+	// RedialAttempts bounds reconnect attempts per outage (default 8).
+	RedialAttempts int
+	// RedialBackoff is the first reconnect delay; it doubles per attempt,
+	// capped at 2s (default 50ms).
+	RedialBackoff time.Duration
+	// DialTimeout bounds one dial (default 5s).
+	DialTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Buffer <= 0 {
+		c.Buffer = 1024
+	}
+	if c.RedialAttempts <= 0 {
+		c.RedialAttempts = 8
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 50 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Report is a deadlock report pushed by the server.
+type Report struct {
+	Tasks     []deps.TaskID
+	Resources []deps.Resource
+}
+
+// GateError reports a refused avoidance block: the cycle that admitting
+// Task's status would have closed.
+type GateError struct {
+	Task      deps.TaskID
+	Tasks     []deps.TaskID
+	Resources []deps.Resource
+}
+
+func (e *GateError) Error() string {
+	return fmt.Sprintf("armus-serve refused block of task%d: deadlock cycle %v over %v",
+		e.Task, e.Tasks, e.Resources)
+}
+
+type gateResult struct {
+	allowed   bool
+	tasks     []deps.TaskID
+	resources []deps.Resource
+	err       error
+}
+
+type checkResult struct {
+	deadlocked bool
+	err        error
+}
+
+// blockWaiter is one in-flight gated Block round trip.
+type blockWaiter struct {
+	ev      trace.Event
+	ch      chan gateResult
+	sentGen int // connection generation the event was last written on (0 = unwritten)
+}
+
+// checkWaiter is one in-flight Checkpoint round trip. Responses are
+// matched by the server's per-connection verdict sequence number:
+// expectSeq is the ordinal (counting every verdict EVENT written on the
+// current connection, including raw Emits of recorded traces) this
+// waiter's checkpoint was written as, so an answer to an unsolicited
+// verdict event can never be mistaken for a checkpoint's.
+type checkWaiter struct {
+	ev        trace.Event
+	ch        chan checkResult
+	sentGen   int
+	expectSeq uint64
+}
+
+// outEvent is one emitter queue entry; bw/cw link round-trip events to
+// their waiters so a reconnect can re-submit exactly the written ones.
+type outEvent struct {
+	ev trace.Event
+	bw *blockWaiter
+	cw *checkWaiter
+}
+
+// link is one live connection.
+type link struct {
+	nc net.Conn
+	tw *trace.Writer
+	br *bufio.Reader
+}
+
+// Client is a connection to one armus-serve session.
+type Client struct {
+	cfg  Config
+	emit chan outEvent
+
+	closeCh chan struct{}
+	done    chan struct{}
+
+	mu      sync.Mutex
+	blocks  map[deps.TaskID]*blockWaiter
+	checks  []*checkWaiter
+	gen     int
+	termErr error
+	closed  bool
+
+	// checkMu serialises checkpoint submission so FIFO matching holds
+	// even with concurrent Checkpoint callers.
+	checkMu sync.Mutex
+
+	reconnects atomic.Int64
+	resumed    atomic.Bool
+}
+
+// Dial connects, performs the handshake and attaches to cfg.Session. The
+// first connection is synchronous so configuration errors surface here;
+// later transport failures reconnect in the background.
+func Dial(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Mode != core.ModeAvoid && cfg.Mode != core.ModeDetect {
+		return nil, fmt.Errorf("client: mode must be avoid or detect, got %v", cfg.Mode)
+	}
+	if !proto.ValidSession(cfg.Session) {
+		return nil, fmt.Errorf("client: invalid session name %q", cfg.Session)
+	}
+	c := &Client{
+		cfg:     cfg,
+		emit:    make(chan outEvent, cfg.Buffer),
+		closeCh: make(chan struct{}),
+		done:    make(chan struct{}),
+		blocks:  make(map[deps.TaskID]*blockWaiter),
+	}
+	l, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	go c.loop(l)
+	return c, nil
+}
+
+// connect dials and completes the handshake: write the trace header,
+// read the hello.
+func (c *Client) connect() (*link, error) {
+	d := net.Dialer{Timeout: c.cfg.DialTimeout}
+	nc, err := d.Dial("tcp", c.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	h := proto.Handshake{Session: c.cfg.Session, Subscribe: c.cfg.Subscribe}
+	tw, err := trace.NewWriter(nc, h.Label(), uint8(c.cfg.Mode))
+	if err == nil {
+		err = tw.Flush()
+	}
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(nc)
+	var r proto.Response
+	if c.cfg.DialTimeout > 0 {
+		nc.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
+	}
+	if err := proto.ReadResponse(br, &r); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	nc.SetReadDeadline(time.Time{})
+	switch r.Kind {
+	case proto.RespHello:
+		if core.Mode(r.Mode) != c.cfg.Mode {
+			nc.Close()
+			return nil, fmt.Errorf("client: session %q runs in %v mode, asked for %v",
+				c.cfg.Session, core.Mode(r.Mode), c.cfg.Mode)
+		}
+		if r.Resumed {
+			c.resumed.Store(true)
+		}
+	case proto.RespGoodbye:
+		nc.Close()
+		return nil, fmt.Errorf("client: attach refused (%s): %s", proto.ByeString(r.Code), r.Msg)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: unexpected %v during handshake", r.Kind)
+	}
+	return &link{nc: nc, tw: tw, br: br}, nil
+}
+
+// goodbyeError is a server-initiated goodbye; apart from the
+// slow-consumer code it ends the client instead of triggering reconnects.
+type goodbyeError struct {
+	code byte
+	msg  string
+}
+
+func (e *goodbyeError) Error() string {
+	return fmt.Sprintf("server closed connection (%s): %s", proto.ByeString(e.code), e.msg)
+}
+
+// loop owns the connection lifecycle: run until a transport failure,
+// reconnect with backoff, resume. Exits on Close or a terminal error.
+func (c *Client) loop(l *link) {
+	defer close(c.done)
+	for {
+		err := c.run(l)
+		l.nc.Close()
+		if c.isClosed() {
+			c.finish(ErrClosed)
+			return
+		}
+		var bye *goodbyeError
+		if errors.As(err, &bye) && bye.code != proto.ByeSlow {
+			// Drain / refusal: the server asked us to stop; reconnecting
+			// would be rude (and for drain, futile). A slow-consumer drop
+			// is OUR fault and transient — reconnect for that one.
+			c.finish(err)
+			return
+		}
+		if c.cfg.OnDisconnect != nil {
+			c.cfg.OnDisconnect(err)
+		}
+		backoff := c.cfg.RedialBackoff
+		var nl *link
+		for attempt := 0; attempt < c.cfg.RedialAttempts; attempt++ {
+			select {
+			case <-c.closeCh:
+				c.finish(ErrClosed)
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			var cerr error
+			if nl, cerr = c.connect(); cerr == nil {
+				break
+			}
+			err = cerr
+		}
+		if nl == nil {
+			c.finish(fmt.Errorf("client: reconnect to %s failed: %w", c.cfg.Addr, err))
+			return
+		}
+		c.reconnects.Add(1)
+		l = nl
+	}
+}
+
+// run drives one live connection: start its reader, re-submit in-flight
+// round trips from the previous connection, then pump the emitter.
+func (c *Client) run(l *link) error {
+	c.mu.Lock()
+	c.gen++
+	gen := c.gen
+	var resend []outEvent
+	for _, w := range c.blocks {
+		if w.sentGen > 0 && w.sentGen < gen {
+			resend = append(resend, outEvent{ev: w.ev, bw: w})
+		}
+	}
+	for _, w := range c.checks { // FIFO order preserved
+		if w.sentGen > 0 && w.sentGen < gen {
+			resend = append(resend, outEvent{ev: w.ev, cw: w})
+		}
+	}
+	c.mu.Unlock()
+	// sentVerdicts counts every verdict EVENT written on this connection
+	// — checkpoints and raw Emits alike — mirroring the server's
+	// per-connection response sequence, so checkpoint waiters know which
+	// RespVerdict ordinal is theirs.
+	var sentVerdicts uint64
+	writeEvent := func(oe *outEvent) error {
+		if oe.ev.Kind == trace.KindVerdict {
+			sentVerdicts++
+		}
+		c.noteWrite(oe, gen, sentVerdicts)
+		return l.tw.WriteEvent(oe.ev)
+	}
+	for i := range resend {
+		if err := writeEvent(&resend[i]); err != nil {
+			return err
+		}
+	}
+	if err := l.tw.Flush(); err != nil {
+		return err
+	}
+
+	readerErr := make(chan error, 1)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		c.readLoop(l.br, readerErr)
+	}()
+	// Join the reader before returning: a reader that outlived its
+	// connection could otherwise race the next connection's re-submission
+	// of in-flight round trips and mismatch the FIFO pairing.
+	defer func() {
+		l.nc.Close()
+		<-readerDone
+	}()
+
+	for {
+		select {
+		case oe := <-c.emit:
+			if err := writeEvent(&oe); err != nil {
+				return err
+			}
+		greedy:
+			for {
+				select {
+				case oe = <-c.emit:
+					if err := writeEvent(&oe); err != nil {
+						return err
+					}
+				default:
+					break greedy
+				}
+			}
+			if err := l.tw.Flush(); err != nil {
+				return err
+			}
+		case err := <-readerErr:
+			return err
+		case <-c.closeCh:
+			// Graceful end: drain what is buffered, then close the trace
+			// stream properly (end sentinel + CRC) so the server reads a
+			// clean EOF and the connection doubles as a complete trace.
+		drain:
+			for {
+				select {
+				case oe := <-c.emit:
+					if err := writeEvent(&oe); err != nil {
+						return err
+					}
+				default:
+					break drain
+				}
+			}
+			return l.tw.Close()
+		}
+	}
+}
+
+// noteWrite records, under the client lock and BEFORE the bytes hit the
+// wire, which connection generation an event's waiter was written on and
+// (checkpoints) which verdict-sequence ordinal it will be answered as.
+func (c *Client) noteWrite(oe *outEvent, gen int, verdictSeq uint64) {
+	if oe.bw == nil && oe.cw == nil {
+		return
+	}
+	c.mu.Lock()
+	if oe.bw != nil {
+		oe.bw.sentGen = gen
+	}
+	if oe.cw != nil {
+		oe.cw.sentGen = gen
+		oe.cw.expectSeq = verdictSeq
+	}
+	c.mu.Unlock()
+}
+
+// readLoop dispatches one connection's responses until it fails.
+func (c *Client) readLoop(br *bufio.Reader, errch chan<- error) {
+	var r proto.Response
+	for {
+		if err := proto.ReadResponse(br, &r); err != nil {
+			errch <- err
+			return
+		}
+		switch r.Kind {
+		case proto.RespGate:
+			c.mu.Lock()
+			w := c.blocks[r.Task]
+			delete(c.blocks, r.Task)
+			c.mu.Unlock()
+			if w != nil {
+				w.ch <- gateResult{
+					allowed:   r.Allowed,
+					tasks:     append([]deps.TaskID(nil), r.Tasks...),
+					resources: append([]deps.Resource(nil), r.Resources...),
+				}
+			}
+		case proto.RespVerdict:
+			// Match by the server's per-connection sequence number: the
+			// server answers EVERY ingested verdict event (a raw Emit of a
+			// recorded trace included), so FIFO alone would let an
+			// unsolicited answer steal a checkpoint's slot and skew every
+			// later pairing. Only the response whose ordinal equals the
+			// head waiter's written ordinal is its answer.
+			c.mu.Lock()
+			var w *checkWaiter
+			if len(c.checks) > 0 && c.checks[0].expectSeq == r.Seq {
+				w = c.checks[0]
+				c.checks = c.checks[1:]
+			}
+			c.mu.Unlock()
+			if w != nil {
+				w.ch <- checkResult{deadlocked: r.Deadlocked}
+			}
+		case proto.RespReport:
+			if c.cfg.OnReport != nil {
+				c.cfg.OnReport(Report{
+					Tasks:     append([]deps.TaskID(nil), r.Tasks...),
+					Resources: append([]deps.Resource(nil), r.Resources...),
+				})
+			}
+		case proto.RespGoodbye:
+			errch <- &goodbyeError{code: r.Code, msg: r.Msg}
+			return
+		default:
+			// Unknown/unexpected kinds are ignored for forward compat.
+		}
+	}
+}
+
+// finish fails every in-flight round trip and records the terminal error.
+func (c *Client) finish(err error) {
+	c.mu.Lock()
+	if c.termErr == nil {
+		c.termErr = err
+	}
+	blocks := c.blocks
+	checks := c.checks
+	c.blocks = make(map[deps.TaskID]*blockWaiter)
+	c.checks = nil
+	term := c.termErr
+	c.mu.Unlock()
+	for _, w := range blocks {
+		w.ch <- gateResult{err: term}
+	}
+	for _, w := range checks {
+		w.ch <- checkResult{err: term}
+	}
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// terminal returns the terminal error, or nil while the client lives.
+func (c *Client) terminal() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.termErr
+}
+
+// enqueue pushes an event into the emitter. It blocks only when the
+// buffer is full (backpressure) or returns the terminal error if the
+// client is finished.
+func (c *Client) enqueue(oe outEvent) error {
+	if err := c.terminal(); err != nil {
+		return err
+	}
+	select {
+	case c.emit <- oe:
+		return nil
+	case <-c.done:
+		if err := c.terminal(); err != nil {
+			return err
+		}
+		return ErrClosed
+	}
+}
+
+// Emit enqueues a raw trace event (fire and forget). Most callers use the
+// typed helpers below; the loadgen uses Emit to stream recorded traces.
+func (c *Client) Emit(e trace.Event) error { return c.enqueue(outEvent{ev: e}) }
+
+// Register emits a task-joins-phaser event.
+func (c *Client) Register(t deps.TaskID, q deps.PhaserID, phase int64, mode uint8) error {
+	return c.Emit(trace.Event{Kind: trace.KindRegister, Task: t, Phaser: q, Phase: phase, Mode: mode})
+}
+
+// Arrive emits a task-signals-phaser event; phase is the new local phase.
+func (c *Client) Arrive(t deps.TaskID, q deps.PhaserID, phase int64) error {
+	return c.Emit(trace.Event{Kind: trace.KindArrive, Task: t, Phaser: q, Phase: phase})
+}
+
+// Drop emits a membership-revoked event.
+func (c *Client) Drop(t deps.TaskID, q deps.PhaserID) error {
+	return c.Emit(trace.Event{Kind: trace.KindDrop, Task: t, Phaser: q})
+}
+
+// Unblock emits a task-resumed event.
+func (c *Client) Unblock(t deps.TaskID) error {
+	return c.Emit(trace.Event{Kind: trace.KindUnblock, Task: t})
+}
+
+// Block submits a blocked status. In a detection session it is fire and
+// forget. In an avoidance session it round-trips the server's gate: nil
+// means the block was admitted (the status is in the session state);
+// *GateError means admitting it would close the returned deadlock cycle
+// and the status was rolled back — the caller must not block.
+func (c *Client) Block(b deps.Blocked) error {
+	ev := trace.Event{Kind: trace.KindBlock, Task: b.Task, Status: deps.Blocked{
+		Task:     b.Task,
+		WaitsFor: append([]deps.Resource(nil), b.WaitsFor...),
+		Regs:     append([]deps.Reg(nil), b.Regs...),
+	}}
+	if c.cfg.Mode != core.ModeAvoid {
+		return c.Emit(ev)
+	}
+	w := &blockWaiter{ev: ev, ch: make(chan gateResult, 1)}
+	c.mu.Lock()
+	if c.termErr != nil {
+		err := c.termErr
+		c.mu.Unlock()
+		return err
+	}
+	if _, dup := c.blocks[b.Task]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("client: concurrent Block for task %d", b.Task)
+	}
+	c.blocks[b.Task] = w
+	c.mu.Unlock()
+	if err := c.enqueue(outEvent{ev: ev, bw: w}); err != nil {
+		c.mu.Lock()
+		if c.blocks[b.Task] == w {
+			delete(c.blocks, b.Task)
+		}
+		c.mu.Unlock()
+		return err
+	}
+	res := <-w.ch
+	if res.err != nil {
+		return res.err
+	}
+	if !res.allowed {
+		return &GateError{Task: b.Task, Tasks: res.tasks, Resources: res.resources}
+	}
+	return nil
+}
+
+// Checkpoint round-trips a verdict query: it reports whether the session
+// state is deadlocked after everything this client emitted so far has
+// been applied. It therefore doubles as a write barrier.
+func (c *Client) Checkpoint() (bool, error) {
+	ev := trace.Event{Kind: trace.KindVerdict, Verdict: trace.VerdictReported}
+	w := &checkWaiter{ev: ev, ch: make(chan checkResult, 1)}
+	c.checkMu.Lock()
+	c.mu.Lock()
+	if c.termErr != nil {
+		err := c.termErr
+		c.mu.Unlock()
+		c.checkMu.Unlock()
+		return false, err
+	}
+	c.checks = append(c.checks, w)
+	c.mu.Unlock()
+	err := c.enqueue(outEvent{ev: ev, cw: w})
+	c.checkMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		for i, x := range c.checks {
+			if x == w {
+				c.checks = append(c.checks[:i], c.checks[i+1:]...)
+				break
+			}
+		}
+		c.mu.Unlock()
+		return false, err
+	}
+	res := <-w.ch
+	return res.deadlocked, res.err
+}
+
+// Reconnects reports how many times the client re-established its
+// connection.
+func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
+
+// Resumed reports whether any attach found the session already existing
+// on the server.
+func (c *Client) Resumed() bool { return c.resumed.Load() }
+
+// Close flushes the emitter, closes the trace stream cleanly (end
+// sentinel + CRC) and releases the client. In-flight Block/Checkpoint
+// calls fail with ErrClosed. Idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.closeCh)
+	<-c.done
+	return nil
+}

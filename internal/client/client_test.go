@@ -1,0 +1,285 @@
+package client_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"armus/internal/client"
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/server"
+	"armus/internal/trace"
+)
+
+// flakyProxy is a TCP relay whose live connections can be severed on
+// demand — the transport-failure injector for the reconnect tests.
+type flakyProxy struct {
+	ln     net.Listener
+	target string
+	mu     sync.Mutex
+	live   []net.Conn
+	closed bool
+}
+
+func newProxy(t *testing.T, target string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy listen: %v", err)
+	}
+	p := &flakyProxy{ln: ln, target: target}
+	go p.acceptLoop()
+	t.Cleanup(p.Close)
+	return p
+}
+
+func (p *flakyProxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *flakyProxy) acceptLoop() {
+	for {
+		in, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		out, err := net.Dial("tcp", p.target)
+		if err != nil {
+			in.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			in.Close()
+			out.Close()
+			return
+		}
+		p.live = append(p.live, in, out)
+		p.mu.Unlock()
+		go func() { io.Copy(out, in); out.Close(); in.Close() }()
+		go func() { io.Copy(in, out); in.Close(); out.Close() }()
+	}
+}
+
+// Sever cuts every live relayed connection; new dials still succeed.
+func (p *flakyProxy) Sever() {
+	p.mu.Lock()
+	for _, c := range p.live {
+		c.Close()
+	}
+	p.live = nil
+	p.mu.Unlock()
+}
+
+func (p *flakyProxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.Sever()
+}
+
+func startServer(t *testing.T) *server.Server {
+	t.Helper()
+	s, err := server.New(server.Config{Addr: "127.0.0.1:0", Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func st(task int64, waitQ, waitN, regQ, regN int64) deps.Blocked {
+	return deps.Blocked{
+		Task:     deps.TaskID(task),
+		WaitsFor: []deps.Resource{{Phaser: deps.PhaserID(waitQ), Phase: waitN}},
+		Regs:     []deps.Reg{{Phaser: deps.PhaserID(regQ), Phase: regN}},
+	}
+}
+
+// TestReconnectResumesSession: a severed transport reconnects behind the
+// scenes and reattaches to the SAME session — state submitted before the
+// failure still gates blocks submitted after it.
+func TestReconnectResumesSession(t *testing.T) {
+	s := startServer(t)
+	p := newProxy(t, s.Addr())
+	c, err := client.Dial(client.Config{
+		Addr: p.Addr(), Session: "resume", Mode: core.ModeAvoid,
+		RedialBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	// task1: waits phaser2@1, impedes phaser1@1. Admitted.
+	if err := c.Block(st(1, 2, 1, 1, 0)); err != nil {
+		t.Fatalf("block before failure: %v", err)
+	}
+	p.Sever()
+	// task2 would close the cycle with task1 — the gate may only know
+	// that if the reconnect resumed the SAME session state.
+	var ge *client.GateError
+	err = c.Block(st(2, 1, 1, 2, 0))
+	if !errors.As(err, &ge) {
+		t.Fatalf("block after reconnect: got %v, want *GateError (state lost?)", err)
+	}
+	if c.Reconnects() < 1 {
+		t.Fatalf("reconnects = %d, want >= 1", c.Reconnects())
+	}
+	if !c.Resumed() {
+		t.Fatal("session not resumed on reconnect")
+	}
+	// The connection is healthy after the round trip.
+	if d, err := c.Checkpoint(); err != nil || d {
+		t.Fatalf("post-reconnect checkpoint: %v %v", d, err)
+	}
+}
+
+// TestCheckpointIsWriteBarrier: a checkpoint's verdict reflects every
+// event emitted before it on the same client, including fire-and-forget
+// detection blocks.
+func TestCheckpointIsWriteBarrier(t *testing.T) {
+	s := startServer(t)
+	c, err := client.Dial(client.Config{Addr: s.Addr(), Session: "barrier", Mode: core.ModeDetect})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Block(st(1, 1, 1, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Block(st(2, 2, 1, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if !d {
+		t.Fatal("checkpoint missed a deadlock emitted right before it")
+	}
+	if err := c.Unblock(1); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := c.Checkpoint(); err != nil || d {
+		t.Fatalf("checkpoint after unblock: %v %v", d, err)
+	}
+}
+
+// TestCheckpointUnconfusedByRawVerdictEvents: the server answers EVERY
+// ingested verdict event, so raw Emits of a recorded trace's verdict
+// events draw unsolicited answers. Checkpoint must pair with ITS answer
+// (by the per-connection sequence number), not the first one in flight —
+// otherwise every later checkpoint on the connection is off by one.
+func TestCheckpointUnconfusedByRawVerdictEvents(t *testing.T) {
+	s := startServer(t)
+	c, err := client.Dial(client.Config{Addr: s.Addr(), Session: "rawverdict", Mode: core.ModeDetect})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	// Deadlock the session, then emit raw verdict events: each draws an
+	// unsolicited deadlocked=true answer.
+	if err := c.Block(st(1, 1, 1, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Block(st(2, 2, 1, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Emit(trace.Event{Kind: trace.KindVerdict, Verdict: trace.VerdictReported}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d, err := c.Checkpoint(); err != nil || !d {
+		t.Fatalf("checkpoint amid raw verdicts: %v %v, want true", d, err)
+	}
+	// The discriminator: after the unblock, a checkpoint answered by a
+	// stale (pre-unblock) response would still say deadlocked.
+	if err := c.Unblock(1); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := c.Checkpoint(); err != nil || d {
+		t.Fatalf("checkpoint after unblock: %v %v, want false (stale pairing?)", d, err)
+	}
+}
+
+// TestConcurrentBlockSameTaskRefused: one outstanding gate round trip per
+// task; a duplicate is a caller bug and is refused locally.
+func TestConcurrentBlockSameTaskRefused(t *testing.T) {
+	s := startServer(t)
+	c, err := client.Dial(client.Config{Addr: s.Addr(), Session: "dup", Mode: core.ModeAvoid})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Block(st(1, 1, 1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The first Block completed, so a re-block (status refresh, arrived at
+	// the new phase) is fine.
+	if err := c.Block(st(1, 1, 2, 1, 2)); err != nil {
+		t.Fatalf("status refresh refused: %v", err)
+	}
+	// A status awaiting an event the task itself impedes is a
+	// self-deadlock; the gate must refuse it.
+	var ge *client.GateError
+	if err := c.Block(st(2, 2, 2, 2, 1)); !errors.As(err, &ge) {
+		t.Fatalf("self-deadlock block: got %v, want *GateError", err)
+	}
+}
+
+// TestCloseFailsPendingAndTerminates: Close is clean and terminal.
+func TestCloseFailsPendingAndTerminates(t *testing.T) {
+	s := startServer(t)
+	c, err := client.Dial(client.Config{Addr: s.Addr(), Session: "close", Mode: core.ModeDetect})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := c.Register(1, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := c.Unblock(1); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("emit after close: %v, want ErrClosed", err)
+	}
+	if _, err := c.Checkpoint(); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("checkpoint after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestReconnectGivesUpEventually: when the server is gone for good the
+// client reports a terminal error instead of spinning forever.
+func TestReconnectGivesUpEventually(t *testing.T) {
+	s := startServer(t)
+	p := newProxy(t, s.Addr())
+	c, err := client.Dial(client.Config{
+		Addr: p.Addr(), Session: "gone", Mode: core.ModeAvoid,
+		RedialAttempts: 2, RedialBackoff: time.Millisecond, DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	p.Close() // server unreachable from now on
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := c.Block(st(1, 1, 1, 1, 1))
+		if err != nil && !errors.As(err, new(*client.GateError)) {
+			break // terminal
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never reported a terminal error")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"armus/internal/core"
+	"armus/internal/server/proto"
+	"armus/internal/trace"
+)
+
+// conn is one accepted client connection: a trace-stream read loop, a
+// bounded outbound response queue, and the writer goroutine draining it.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	sess *session
+
+	// out is the bounded egress queue. session.apply and the server push
+	// responses with send (never blocking); writeLoop drains, encodes
+	// and flushes. An overflowing queue disconnects the connection.
+	out        chan proto.Response
+	done       chan struct{} // closed by the handler when the read side ends
+	writerDone chan struct{}
+
+	subscribe bool
+	slow      atomic.Bool
+	// checkSeq numbers this connection's checkpoints; only the session
+	// apply path (serialised per connection by the read loop) touches it.
+	checkSeq uint64
+}
+
+func (s *Server) handleConn(nc net.Conn) {
+	defer s.wg.Done()
+	s.m.ConnsTotal.Add(1)
+	s.m.ConnsOpen.Add(1)
+	defer s.m.ConnsOpen.Add(-1)
+
+	c := &conn{
+		srv:        s,
+		nc:         nc,
+		out:        make(chan proto.Response, s.cfg.QueueLen),
+		done:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+
+	go c.writeLoop()
+	defer func() {
+		// Read side done: let the writer flush what is queued (a goodbye,
+		// trailing gate decisions), then drop the socket and deregister.
+		close(c.done)
+		<-c.writerDone
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+
+	// The handshake is the trace header; a peer that cannot produce one
+	// promptly is not a client.
+	if t := s.cfg.HandshakeTimeout; t > 0 {
+		nc.SetReadDeadline(time.Now().Add(t))
+	}
+	tr, err := trace.NewReader(nc)
+	if err != nil {
+		c.refuse(proto.ByeMalformed, err)
+		return
+	}
+	h, err := proto.ParseLabel(tr.Label())
+	if err != nil {
+		c.refuse(proto.ByeSession, err)
+		return
+	}
+	mode := core.Mode(tr.Mode())
+	if mode != core.ModeAvoid && mode != core.ModeDetect {
+		c.refuse(proto.ByeSession,
+			fmt.Errorf("session mode must be avoid or detect, got %v", mode))
+		return
+	}
+	nc.SetReadDeadline(time.Time{})
+	c.subscribe = h.Subscribe
+
+	sess, resumed, err := s.attach(h.Session, mode, c)
+	if err != nil {
+		c.refuse(proto.ByeSession, err)
+		return
+	}
+	defer sess.detach(c)
+	c.send(proto.Response{Kind: proto.RespHello, Mode: uint8(sess.mode), Resumed: resumed})
+
+	// The ingest loop: decode into a reused batch (zero steady-state
+	// allocations — see TestIngestHotPathZeroAlloc), greedily folding in
+	// whatever further frames are already buffered, and apply the batch
+	// under the session lock.
+	batch := make([]trace.Event, s.cfg.MaxBatch)
+	for {
+		n := 0
+		err := tr.NextInto(&batch[0])
+		if err == nil {
+			n = 1
+			for n < len(batch) && tr.Buffered() > 0 {
+				if e2 := tr.NextInto(&batch[n]); e2 != nil {
+					err = e2
+					break
+				}
+				n++
+			}
+		}
+		if n > 0 {
+			sess.apply(c, batch[:n])
+		}
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF):
+				// Clean trace end: sentinel and CRC verified.
+			case isAbruptClose(err):
+				// Peer vanished mid-stream (crash, reset, our Close):
+				// the session lives on until its lease expires.
+			default:
+				s.m.MalformedConns.Add(1)
+				c.send(proto.Response{Kind: proto.RespGoodbye, Code: proto.ByeMalformed, Msg: err.Error()})
+				s.cfg.Logf("armus-serve: session %q: malformed stream: %v", h.Session, err)
+			}
+			return
+		}
+	}
+}
+
+// refuse counts and reports a connection that never attached.
+func (c *conn) refuse(code byte, err error) {
+	if isAbruptClose(err) || errors.Is(err, io.EOF) {
+		return // a probe or vanished peer, not a protocol violation
+	}
+	if code == proto.ByeMalformed {
+		c.srv.m.MalformedConns.Add(1)
+	}
+	c.send(proto.Response{Kind: proto.RespGoodbye, Code: code, Msg: err.Error()})
+	c.srv.cfg.Logf("armus-serve: refused connection (%s): %v", proto.ByeString(code), err)
+}
+
+// send enqueues a response without ever blocking. A full queue means the
+// peer is not draining its read side while we still have verdicts to
+// deliver — the slow-consumer policy is to disconnect it (bounded memory
+// beats an unbounded backlog). Returns false if the response was dropped.
+func (c *conn) send(r proto.Response) bool {
+	select {
+	case c.out <- r:
+		return true
+	default:
+		if c.slow.CompareAndSwap(false, true) {
+			c.srv.m.SlowDisconnects.Add(1)
+			c.srv.cfg.Logf("armus-serve: disconnecting slow consumer (queue %d full)", cap(c.out))
+			c.nc.Close() // read loop notices and tears the connection down
+		}
+		return false
+	}
+}
+
+// queueDepth reports the current egress backlog (metrics gauge).
+func (c *conn) queueDepth() int { return len(c.out) }
+
+// writeLoop drains the outbound queue: encode into a reused buffer, write,
+// flush once the queue is momentarily empty. Write errors close the socket
+// (the read loop notices); the loop keeps consuming so send never sticks.
+func (c *conn) writeLoop() {
+	defer close(c.writerDone)
+	bw := bufio.NewWriter(c.nc)
+	var buf []byte
+	broken := false
+	writeOne := func(r *proto.Response) {
+		b, err := proto.AppendResponse(buf[:0], r)
+		if err != nil {
+			return
+		}
+		buf = b
+		if broken {
+			return
+		}
+		if _, err := bw.Write(b); err != nil {
+			broken = true
+			c.nc.Close()
+		}
+	}
+	flush := func() {
+		if broken {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			broken = true
+			c.nc.Close()
+		}
+	}
+	for {
+		select {
+		case r := <-c.out:
+			writeOne(&r)
+		greedy:
+			for {
+				select {
+				case r = <-c.out:
+					writeOne(&r)
+				default:
+					break greedy
+				}
+			}
+			flush()
+		case <-c.done:
+			for {
+				select {
+				case r := <-c.out:
+					writeOne(&r)
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"armus/internal/client"
+	"armus/internal/clock"
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/server/proto"
+	"armus/internal/trace"
+)
+
+// rawAttach opens a bare protocol connection (no SDK): dial, write the
+// trace header handshake, read the hello.
+func rawAttach(t *testing.T, s *Server, sess string, mode core.Mode) (net.Conn, *trace.Writer, *bufio.Reader, bool) {
+	t.Helper()
+	nc, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	tw, err := trace.NewWriter(nc, proto.Handshake{Session: sess}.Label(), uint8(mode))
+	if err == nil {
+		err = tw.Flush()
+	}
+	if err != nil {
+		t.Fatalf("handshake write: %v", err)
+	}
+	br := bufio.NewReader(nc)
+	var r proto.Response
+	if err := proto.ReadResponse(br, &r); err != nil {
+		t.Fatalf("hello read: %v", err)
+	}
+	if r.Kind != proto.RespHello {
+		t.Fatalf("expected hello, got %v (code %d: %s)", r.Kind, r.Code, r.Msg)
+	}
+	return nc, tw, br, r.Resumed
+}
+
+// TestClientCrashSessionGC: a client that vanishes mid-stream (no trace
+// footer) leaves its session alive for the lease — a reconnect within the
+// lease resumes it — and the clock-driven janitor collects it afterwards.
+func TestClientCrashSessionGC(t *testing.T) {
+	fc := clock.NewFake()
+	s := testServer(t, Config{Lease: 3 * time.Second, SweepPeriod: time.Second, Clock: fc})
+
+	nc, tw, _, resumed := rawAttach(t, s, "ghost", core.ModeDetect)
+	if resumed {
+		t.Fatal("fresh session reported as resumed")
+	}
+	if err := tw.WriteEvent(trace.Event{Kind: trace.KindBlock,
+		Status: status(1, nil, nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.Metrics().Events >= 1 })
+
+	// Crash: abrupt close, no footer. The connection goes, the session
+	// stays.
+	nc.Close()
+	waitFor(t, func() bool { return s.Metrics().ConnsOpen == 0 })
+	fc.Tick() // sweep 1: idle 1 of 3
+	fc.Tick() // sweep 2 begins; GC cannot have happened yet
+	if m := s.Metrics(); m.SessionsOpen != 1 || m.SessionsGCed != 0 {
+		t.Fatalf("session collected before lease: %+v", m)
+	}
+
+	// A reconnect inside the lease resumes the session (and resets the
+	// idle clock).
+	nc2, _, _, resumed := rawAttach(t, s, "ghost", core.ModeDetect)
+	if !resumed {
+		t.Fatal("reconnect within lease did not resume the session")
+	}
+	nc2.Close()
+	waitFor(t, func() bool { return s.Metrics().ConnsOpen == 0 })
+
+	// Now let the lease run out: the janitor collects the session.
+	for i := 0; i < 10 && s.Metrics().SessionsGCed == 0; i++ {
+		fc.Tick()
+	}
+	if m := s.Metrics(); m.SessionsGCed != 1 || m.SessionsOpen != 0 {
+		t.Fatalf("session not collected after lease: %+v", m)
+	}
+
+	// A fresh attach under the same name is a brand-new session.
+	nc3, _, _, resumed := rawAttach(t, s, "ghost", core.ModeDetect)
+	if resumed {
+		t.Fatal("attach after GC resumed a collected session")
+	}
+	nc3.Close()
+}
+
+// TestMalformedFrameRejected: garbage after a valid handshake gets the
+// connection a malformed goodbye; garbage instead of a handshake is
+// dropped; the server keeps serving everyone else either way.
+func TestMalformedFrameRejected(t *testing.T) {
+	s := testServer(t, Config{})
+
+	// Garbage mid-stream: 0xff forever never terminates a uvarint, so the
+	// frame-length read overflows after 10 bytes — a framing violation.
+	nc, _, br, _ := rawAttach(t, s, "mal", core.ModeDetect)
+	if _, err := nc.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	var r proto.Response
+	if err := proto.ReadResponse(br, &r); err != nil {
+		t.Fatalf("reading goodbye: %v", err)
+	}
+	if r.Kind != proto.RespGoodbye || r.Code != proto.ByeMalformed {
+		t.Fatalf("got %v code=%d, want malformed goodbye", r.Kind, r.Code)
+	}
+	nc.Close()
+
+	// Garbage instead of a handshake.
+	nc2, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc2.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	nc2.Close()
+
+	waitFor(t, func() bool { return s.Metrics().MalformedConns >= 2 })
+	waitFor(t, func() bool { return s.Metrics().ConnsOpen == 0 })
+	// The server is unharmed: a well-behaved client still gets service.
+	c := dialTest(t, s, client.Config{Session: "fine", Mode: core.ModeDetect})
+	if d, err := c.Checkpoint(); err != nil || d {
+		t.Fatalf("server unhealthy after malformed peers: %v %v", d, err)
+	}
+}
+
+// TestSlowConsumerDisconnect: a connection that stops draining its
+// response queue is disconnected the moment the bounded queue overflows —
+// queue memory stays bounded no matter how slow the peer.
+func TestSlowConsumerDisconnect(t *testing.T) {
+	srv := &Server{cfg: Config{QueueLen: 4, Logf: func(string, ...any) {}}.withDefaults()}
+	srv.cfg.QueueLen = 4
+	ss := newSession(srv, "slow", core.ModeDetect)
+	defer ss.closeEngine()
+	p1, p2 := net.Pipe()
+	defer p2.Close()
+	// No writeLoop: the queue never drains, like a peer that stopped
+	// reading while checkpoint verdicts pile up.
+	c := &conn{srv: srv, nc: p1, out: make(chan proto.Response, srv.cfg.QueueLen)}
+	batch := make([]trace.Event, 0, 8)
+	for i := 0; i < 8; i++ {
+		batch = append(batch, trace.Event{Kind: trace.KindVerdict, Verdict: trace.VerdictReported})
+	}
+	ss.apply(c, batch)
+	if got := srv.m.SlowDisconnects.Load(); got != 1 {
+		t.Fatalf("slow disconnects = %d, want 1", got)
+	}
+	// The socket was closed: the peer reads EOF.
+	p2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := p2.Read(buf); err != nil {
+			break
+		}
+	}
+	// Later sends are dropped without a second disconnect.
+	ss.apply(c, batch[:1])
+	if got := srv.m.SlowDisconnects.Load(); got != 1 {
+		t.Fatalf("slow disconnect double-counted: %d", got)
+	}
+}
+
+// TestManyClientsSmoke hammers one server with concurrent clients across
+// shared avoidance and detection sessions — the race-detector workout for
+// the whole accept/apply/respond path.
+func TestManyClientsSmoke(t *testing.T) {
+	s := testServer(t, Config{})
+	const clients = 16
+	const rounds = 10
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mode := core.ModeAvoid
+			sess := "smoke-avoid"
+			if i%2 == 0 {
+				mode = core.ModeDetect
+				sess = "smoke-detect"
+			}
+			c, err := client.Dial(client.Config{
+				Addr: s.Addr(), Session: sess, Mode: mode, Subscribe: true,
+				OnReport: func(client.Report) {},
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			base := int64(i * 100)
+			for r := 0; r < rounds; r++ {
+				for k := int64(0); k < 8; k++ {
+					task := base + k
+					q := task%4 + 1
+					if err := c.Register(deps.TaskID(task), deps.PhaserID(q), 1, 0); err != nil {
+						errCh <- err
+						return
+					}
+					// Arrived at its phaser: deadlock-free by construction.
+					if err := c.Block(status(task,
+						[]deps.Resource{res(q, 1)}, []deps.Reg{reg(q, 1)})); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				if d, err := c.Checkpoint(); err != nil {
+					errCh <- err
+					return
+				} else if d {
+					errCh <- fmt.Errorf("client %d: spurious deadlock", i)
+					return
+				}
+				for k := int64(0); k < 8; k++ {
+					if err := c.Unblock(deps.TaskID(base + k)); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.MalformedConns != 0 || m.SlowDisconnects != 0 {
+		t.Fatalf("smoke run tripped failure paths: %+v", m)
+	}
+	if m.Events < clients*rounds*8 {
+		t.Fatalf("events ingested = %d, want >= %d", m.Events, clients*rounds*8)
+	}
+}

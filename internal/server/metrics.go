@@ -1,0 +1,112 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Metrics are the server's atomic operational counters. They back the
+// Prometheus-text /metrics endpoint and the loadgen/CI assertions; all hot
+// paths touch them with lock-free atomic adds only.
+type Metrics struct {
+	SessionsOpen  atomic.Int64 // gauge: sessions currently in the table
+	SessionsTotal atomic.Int64 // counter: sessions ever opened
+	SessionsGCed  atomic.Int64 // counter: sessions expired by the janitor
+
+	ConnsOpen  atomic.Int64 // gauge: live connections
+	ConnsTotal atomic.Int64 // counter: connections ever accepted
+
+	Events       atomic.Int64 // counter: verifier events ingested
+	Batches      atomic.Int64 // counter: apply batches
+	GateAllowed  atomic.Int64 // counter: avoidance blocks admitted
+	GateRejected atomic.Int64 // counter: avoidance blocks refused (verdicts)
+	Checkpoints  atomic.Int64 // counter: verdict checkpoints answered
+	Reports      atomic.Int64 // counter: deadlock reports pushed
+
+	MalformedConns  atomic.Int64 // counter: connections dropped for bad framing
+	SlowDisconnects atomic.Int64 // counter: connections dropped for a full queue
+}
+
+// MetricsSnapshot is a point-in-time copy, for tests and /healthz.
+type MetricsSnapshot struct {
+	SessionsOpen, SessionsTotal, SessionsGCed int64
+	ConnsOpen, ConnsTotal                     int64
+	Events, Batches                           int64
+	GateAllowed, GateRejected                 int64
+	Checkpoints, Reports                      int64
+	MalformedConns, SlowDisconnects           int64
+	QueueDepth                                int64
+}
+
+// Metrics returns a snapshot of the counters plus the summed egress
+// backlog over the live connections.
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		SessionsOpen:    s.m.SessionsOpen.Load(),
+		SessionsTotal:   s.m.SessionsTotal.Load(),
+		SessionsGCed:    s.m.SessionsGCed.Load(),
+		ConnsOpen:       s.m.ConnsOpen.Load(),
+		ConnsTotal:      s.m.ConnsTotal.Load(),
+		Events:          s.m.Events.Load(),
+		Batches:         s.m.Batches.Load(),
+		GateAllowed:     s.m.GateAllowed.Load(),
+		GateRejected:    s.m.GateRejected.Load(),
+		Checkpoints:     s.m.Checkpoints.Load(),
+		Reports:         s.m.Reports.Load(),
+		MalformedConns:  s.m.MalformedConns.Load(),
+		SlowDisconnects: s.m.SlowDisconnects.Load(),
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		snap.QueueDepth += int64(c.queueDepth())
+	}
+	s.mu.Unlock()
+	return snap
+}
+
+// Handler returns the HTTP observability surface: GET /healthz (liveness
+// plus a small JSON status) and GET /metrics (Prometheus text format).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		draining := s.draining || s.closed
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if draining {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"status":"draining"}`+"\n")
+			return
+		}
+		snap := s.Metrics()
+		fmt.Fprintf(w, `{"status":"ok","sessions":%d,"conns":%d,"events":%d}`+"\n",
+			snap.SessionsOpen, snap.ConnsOpen, snap.Events)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.Metrics()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		for _, m := range []struct {
+			name, typ, help string
+			v               int64
+		}{
+			{"armus_serve_sessions_open", "gauge", "Sessions currently in the table.", snap.SessionsOpen},
+			{"armus_serve_sessions_total", "counter", "Sessions ever opened.", snap.SessionsTotal},
+			{"armus_serve_sessions_gced_total", "counter", "Sessions expired by the lease janitor.", snap.SessionsGCed},
+			{"armus_serve_conns_open", "gauge", "Live client connections.", snap.ConnsOpen},
+			{"armus_serve_conns_total", "counter", "Connections ever accepted.", snap.ConnsTotal},
+			{"armus_serve_events_total", "counter", "Verifier events ingested.", snap.Events},
+			{"armus_serve_batches_total", "counter", "Apply batches executed.", snap.Batches},
+			{"armus_serve_gate_allowed_total", "counter", "Avoidance blocks admitted.", snap.GateAllowed},
+			{"armus_serve_gate_rejected_total", "counter", "Avoidance blocks refused (deadlock would close).", snap.GateRejected},
+			{"armus_serve_checkpoints_total", "counter", "Verdict checkpoints answered.", snap.Checkpoints},
+			{"armus_serve_reports_total", "counter", "Deadlock reports pushed to subscribers.", snap.Reports},
+			{"armus_serve_malformed_conns_total", "counter", "Connections dropped for violating the trace framing.", snap.MalformedConns},
+			{"armus_serve_slow_disconnects_total", "counter", "Connections dropped for an overflowing egress queue.", snap.SlowDisconnects},
+			{"armus_serve_queue_depth", "gauge", "Summed egress backlog over live connections.", snap.QueueDepth},
+		} {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.v)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,364 @@
+// Package server implements verification-as-a-service: a multi-tenant TCP
+// ingestion server that verifies barrier deadlocks for processes it does
+// not run inside.
+//
+// The paper's load-bearing property (Definition 4.1) is that a blocked
+// task's status is a pure function of the task itself — the events it
+// waits for plus its registration vector. Checking is therefore a MERGE,
+// not a protocol: any process can stream its blocked statuses to a remote
+// verifier and the verdicts are exactly the ones an in-process verifier
+// would have produced. This package is that remote verifier.
+//
+// Shape:
+//
+//   - Clients connect over TCP and speak the internal/trace stream format
+//     (see internal/server/proto): the trace header is the handshake, the
+//     framed events are the payload, and a cleanly closed connection is a
+//     complete, CRC-checked, replayable trace.
+//   - Each connection attaches to a SESSION named in the handshake.
+//     Sessions are the tenancy unit: all connections naming one session
+//     feed one verifier state, which is what makes deadlocks spanning
+//     several client processes visible. The session table is sharded 16
+//     ways by session-name hash, mirroring the sharded deps.State.
+//   - A session runs in avoidance mode (every block is gated through the
+//     targeted deps.State.CycleThrough query and refused — with its cycle
+//     — when it would close one; the gate hot path is allocation-free
+//     once warm) or detection mode (mutations apply unconditionally, an
+//     observe-mode core.Verifier answers CheckNow per batch, and
+//     deadlock transitions are pushed to subscribed connections).
+//   - Per-connection read loops decode events with trace.Reader.NextInto
+//     into a reused batch and apply the batch under the session lock.
+//     Ingress backpressure is the TCP window: a session that cannot keep
+//     up stops reading and the kernel stops the sender. Egress queues
+//     (gate decisions, verdicts, reports) are bounded channels: a
+//     connection that does not drain its queue is disconnected
+//     (slow-consumer policy) rather than buffered without bound.
+//   - Sessions whose last connection has gone survive for a lease (so a
+//     crashed client can reconnect and resume), then a janitor driven by
+//     the injectable internal/clock garbage-collects them. Shutdown
+//     drains on the same clock: stop accepting, say goodbye, give
+//     connections a grace to finish, then close.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"armus/internal/clock"
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/server/proto"
+)
+
+// Config shapes a Server. The zero value of every field selects a sane
+// default.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:7777" or ":0".
+	Addr string
+	// MaxBatch is the most events one read loop applies per session-lock
+	// acquisition (default 256).
+	MaxBatch int
+	// QueueLen is the per-connection outbound response queue bound
+	// (default 256); a connection whose queue overflows is disconnected.
+	QueueLen int
+	// Lease is how long a session with no attached connections survives
+	// before the janitor collects it (default 30s).
+	Lease time.Duration
+	// SweepPeriod is the janitor tick (default 1s). The lease is measured
+	// in whole ticks, so with an injected clock.Fake the GC is stepped
+	// deterministically.
+	SweepPeriod time.Duration
+	// DrainGrace is how long Shutdown waits for live connections to
+	// finish before force-closing them (default 5s, in SweepPeriod ticks
+	// of the injected clock).
+	DrainGrace time.Duration
+	// HandshakeTimeout bounds how long an accepted connection may take to
+	// deliver its trace header (default 10s; real time — it is a socket
+	// read deadline, not a verification loop).
+	HandshakeTimeout time.Duration
+	// Model is the graph model of detection-mode sessions (default
+	// deps.ModelAuto).
+	Model deps.Model
+	// Clock drives the janitor and the shutdown drain (default the real
+	// clock; tests inject clock.NewFake and step it).
+	Clock clock.Clock
+	// Logf receives operational log lines (default log.Printf; tests
+	// silence it).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 256
+	}
+	if c.Lease <= 0 {
+		c.Lease = 30 * time.Second
+	}
+	if c.SweepPeriod <= 0 {
+		c.SweepPeriod = time.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// sessionShards is the session-table shard count (power of two).
+const sessionShards = 16
+
+type sessionShard struct {
+	mu sync.Mutex
+	m  map[string]*session
+}
+
+// Server is one armus-serve instance.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	seed   maphash.Seed
+	shards [sessionShards]sessionShard
+
+	m Metrics
+
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	draining bool
+	closed   bool
+
+	wg        sync.WaitGroup // accept loop + connection handlers
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+}
+
+// New starts a server listening on cfg.Addr. Call Shutdown (graceful) or
+// Close (immediate) when done.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		ln:        ln,
+		seed:      maphash.MakeSeed(),
+		conns:     make(map[*conn]struct{}),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*session)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	go s.sweeper()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed || s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(nc)
+	}
+}
+
+// shardFor picks the session shard of a session name.
+func (s *Server) shardFor(name string) *sessionShard {
+	return &s.shards[maphash.String(s.seed, name)&(sessionShards-1)]
+}
+
+// attach finds or creates the named session and attaches c to it. The
+// second result reports whether the session already existed (a resume).
+func (s *Server) attach(name string, mode core.Mode, c *conn) (*session, bool, error) {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ss, existed := sh.m[name]
+	if !existed {
+		ss = newSession(s, name, mode)
+		sh.m[name] = ss
+		s.m.SessionsTotal.Add(1)
+		s.m.SessionsOpen.Add(1)
+		s.cfg.Logf("armus-serve: session %q opened (%v)", name, mode)
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.mode != mode {
+		return nil, false, fmt.Errorf("session %q runs in %v mode, connection asked for %v",
+			name, ss.mode, mode)
+	}
+	ss.conns[c] = struct{}{}
+	ss.idleTicks = 0
+	c.sess = ss
+	return ss, existed, nil
+}
+
+// sweeper is the clock-driven janitor: it expires idle sessions after the
+// lease.
+func (s *Server) sweeper() {
+	defer close(s.sweepDone)
+	tk := s.cfg.Clock.NewTicker(s.cfg.SweepPeriod)
+	defer tk.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-tk.C():
+			s.sweep()
+		}
+	}
+}
+
+// sweep runs one janitor pass. A session is collected once it has spent
+// Lease worth of whole SweepPeriod ticks with no attached connection.
+func (s *Server) sweep() {
+	leaseTicks := int(s.cfg.Lease / s.cfg.SweepPeriod)
+	if leaseTicks < 1 {
+		leaseTicks = 1
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for name, ss := range sh.m {
+			ss.mu.Lock()
+			if len(ss.conns) > 0 {
+				ss.idleTicks = 0
+				ss.mu.Unlock()
+				continue
+			}
+			ss.idleTicks++
+			expired := ss.idleTicks >= leaseTicks
+			ss.mu.Unlock()
+			if expired {
+				delete(sh.m, name)
+				ss.closeEngine()
+				s.m.SessionsOpen.Add(-1)
+				s.m.SessionsGCed.Add(1)
+				s.cfg.Logf("armus-serve: session %q expired (lease %v)", name, s.cfg.Lease)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// activeConns returns the number of live connections.
+func (s *Server) activeConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Shutdown drains gracefully: stop accepting, tell every connection
+// goodbye, wait (on the injected clock) up to DrainGrace for clients to
+// finish, then Close. Safe to call once; Close may follow.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.send(proto.Response{Kind: proto.RespGoodbye, Code: proto.ByeDrain, Msg: "server draining"})
+	}
+	if s.activeConns() > 0 {
+		graceTicks := int(s.cfg.DrainGrace / s.cfg.SweepPeriod)
+		if graceTicks < 1 {
+			graceTicks = 1
+		}
+		tk := s.cfg.Clock.NewTicker(s.cfg.SweepPeriod)
+		for waited := 0; s.activeConns() > 0 && waited < graceTicks; waited++ {
+			<-tk.C()
+		}
+		tk.Stop()
+	}
+	s.Close()
+}
+
+// Close stops the server immediately: listener and every connection are
+// closed, the janitor is stopped, and all session engines are released.
+// Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	close(s.sweepStop)
+	<-s.sweepDone
+	s.wg.Wait()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for name, ss := range sh.m {
+			delete(sh.m, name)
+			ss.closeEngine()
+			s.m.SessionsOpen.Add(-1)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// isAbruptClose classifies a read-loop error: a peer that vanished
+// mid-stream (crash, reset, our own Close) versus a stream that violated
+// the trace framing (malformed input).
+func isAbruptClose(err error) bool {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}

@@ -67,7 +67,11 @@ type Writer struct {
 	w   *bufio.Writer
 	crc uint32
 	buf []byte
-	err error
+	// evBuf is the reused event-encoding buffer: a steady stream of
+	// same-shaped events (the live wire protocol of internal/server)
+	// allocates nothing once it is warm.
+	evBuf []byte
+	err   error
 }
 
 // NewWriter writes the magic and header for a trace with the given label
@@ -121,9 +125,13 @@ func (tw *Writer) writeFrame(payload []byte) error {
 	return tw.writeRaw(payload)
 }
 
-// WriteEvent appends one framed event.
+// WriteEvent appends one framed event. The encoding buffer is owned by the
+// writer and reused across calls.
 func (tw *Writer) WriteEvent(e Event) error {
-	payload, err := appendEvent(nil, e)
+	payload, err := appendEvent(tw.evBuf[:0], e)
+	if payload != nil {
+		tw.evBuf = payload[:0]
+	}
 	if err != nil {
 		if tw.err == nil {
 			tw.err = err
@@ -131,6 +139,20 @@ func (tw *Writer) WriteEvent(e Event) error {
 		return err
 	}
 	return tw.writeFrame(payload)
+}
+
+// Flush forces any buffered frames through to the underlying writer without
+// closing the stream. Live streams (the armus-serve wire protocol) flush
+// after each batch so the peer observes events promptly; file writers can
+// ignore it (Close flushes).
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if err := tw.w.Flush(); err != nil {
+		tw.err = err
+	}
+	return tw.err
 }
 
 // Close writes the end sentinel and the CRC footer and flushes. It does
@@ -220,6 +242,12 @@ type Reader struct {
 	mode  uint8
 	done  bool
 	err   error
+	// frameBuf is the reused frame buffer of NextInto (Next still returns
+	// freshly allocated events, which decode from their own frames).
+	frameBuf []byte
+	// crcByte is readByte's reusable CRC-update window (a fresh one-byte
+	// slice per byte read would put an allocation on the streaming path).
+	crcByte [1]byte
 }
 
 // NewReader checks the magic, reads the header, and returns the event
@@ -284,7 +312,8 @@ func (tr *Reader) readByte() (byte, error) {
 		}
 		return 0, fmt.Errorf("trace: truncated: %w", err)
 	}
-	tr.crc = crc32.Update(tr.crc, crc32.IEEETable, []byte{b})
+	tr.crcByte[0] = b
+	tr.crc = crc32.Update(tr.crc, crc32.IEEETable, tr.crcByte[:])
 	return b, nil
 }
 
@@ -308,6 +337,12 @@ func (tr *Reader) readUvarint() (uint64, error) {
 // readFrame reads one length-prefixed frame; it returns (nil, nil) at the
 // end sentinel, after verifying the CRC footer and that nothing trails it.
 func (tr *Reader) readFrame() ([]byte, error) {
+	return tr.readFrameBuf(nil)
+}
+
+// readFrameBuf is readFrame reading into buf when it has the capacity (the
+// zero-allocation NextInto path hands it the reader-owned buffer).
+func (tr *Reader) readFrameBuf(buf []byte) ([]byte, error) {
 	n, err := tr.readUvarint()
 	if err != nil {
 		return nil, err
@@ -323,15 +358,24 @@ func (tr *Reader) readFrame() ([]byte, error) {
 		if got := binary.LittleEndian.Uint32(foot[:]); got != want {
 			return nil, fmt.Errorf("trace: CRC mismatch: footer %08x, computed %08x", got, want)
 		}
-		if _, err := tr.r.ReadByte(); err != io.EOF {
-			return nil, fmt.Errorf("trace: trailing bytes after CRC footer")
+		// Only an actual extra byte is trailing garbage. Any read ERROR
+		// here is irrelevant: the trace is complete and CRC-verified, and
+		// a live transport (armus-serve) may well deliver a reset instead
+		// of a tidy EOF right after the footer.
+		if b, err := tr.r.ReadByte(); err == nil {
+			return nil, fmt.Errorf("trace: trailing byte 0x%02x after CRC footer", b)
 		}
 		return nil, nil
 	}
 	if n > maxTraceItems {
 		return nil, fmt.Errorf("trace: frame of %d bytes exceeds limit", n)
 	}
-	frame := make([]byte, n)
+	var frame []byte
+	if uint64(cap(buf)) >= n {
+		frame = buf[:n]
+	} else {
+		frame = make([]byte, n)
+	}
 	if _, err := io.ReadFull(tr.r, frame); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
@@ -368,6 +412,42 @@ func (tr *Reader) Next() (Event, error) {
 	return e, nil
 }
 
+// NextInto is Next decoding into e, reusing both the reader's frame buffer
+// and e's slice capacity: the armus-serve ingest loop runs it per event
+// with zero steady-state allocations. The decoded event aliases e's
+// storage, which the NEXT NextInto call overwrites — callers that keep an
+// event must copy it first.
+func (tr *Reader) NextInto(e *Event) error {
+	if tr.err != nil {
+		return tr.err
+	}
+	if tr.done {
+		return io.EOF
+	}
+	frame, err := tr.readFrameBuf(tr.frameBuf)
+	if err != nil {
+		tr.err = err
+		return err
+	}
+	if frame == nil {
+		tr.done = true
+		return io.EOF
+	}
+	if cap(frame) > cap(tr.frameBuf) {
+		tr.frameBuf = frame[:0]
+	}
+	if err := decodeEventInto(frame, e); err != nil {
+		tr.err = err
+		return err
+	}
+	return nil
+}
+
+// Buffered reports how many undecoded bytes sit in the reader's buffer —
+// the live ingest loop uses it to batch greedily (keep decoding while more
+// frames are already in memory) without ever blocking mid-batch.
+func (tr *Reader) Buffered() int { return tr.r.Buffered() }
+
 // eventDecoder is a cursor over one frame.
 type eventDecoder struct{ buf []byte }
 
@@ -403,58 +483,76 @@ func (d *eventDecoder) length() (int, error) {
 	return int(v), nil
 }
 
-func (d *eventDecoder) status() (deps.Blocked, error) {
-	var b deps.Blocked
+// statusInto decodes a status into b, reusing b's slice capacity.
+func (d *eventDecoder) statusInto(b *deps.Blocked) error {
 	t, err := d.varint()
 	if err != nil {
-		return b, err
+		return err
 	}
 	b.Task = deps.TaskID(t)
 	nw, err := d.length()
 	if err != nil {
-		return b, err
+		return err
 	}
-	if nw > 0 {
-		b.WaitsFor = make([]deps.Resource, 0, nw)
-	}
+	b.WaitsFor = b.WaitsFor[:0]
 	for i := 0; i < nw; i++ {
 		q, err := d.varint()
 		if err != nil {
-			return b, err
+			return err
 		}
 		ph, err := d.varint()
 		if err != nil {
-			return b, err
+			return err
 		}
 		b.WaitsFor = append(b.WaitsFor, deps.Resource{Phaser: deps.PhaserID(q), Phase: ph})
 	}
 	nr, err := d.length()
 	if err != nil {
-		return b, err
+		return err
 	}
-	if nr > 0 {
-		b.Regs = make([]deps.Reg, 0, nr)
-	}
+	b.Regs = b.Regs[:0]
 	for i := 0; i < nr; i++ {
 		q, err := d.varint()
 		if err != nil {
-			return b, err
+			return err
 		}
 		ph, err := d.varint()
 		if err != nil {
-			return b, err
+			return err
 		}
 		b.Regs = append(b.Regs, deps.Reg{Phaser: deps.PhaserID(q), Phase: ph})
 	}
-	return b, nil
+	return nil
 }
 
 func decodeEvent(frame []byte) (Event, error) {
-	d := &eventDecoder{buf: frame}
 	var e Event
+	if err := decodeEventInto(frame, &e); err != nil {
+		return Event{}, err
+	}
+	return e, nil
+}
+
+// resetEvent zeroes e while keeping its slice storage for reuse.
+func resetEvent(e *Event) {
+	w, g := e.Status.WaitsFor[:0], e.Status.Regs[:0]
+	ts, rs := e.Tasks[:0], e.Resources[:0]
+	*e = Event{}
+	e.Status.WaitsFor, e.Status.Regs = w, g
+	e.Tasks, e.Resources = ts, rs
+}
+
+// decodeEventInto decodes one event frame into e, reusing e's slice
+// capacity: a caller feeding a steady stream of same-shaped events through
+// the same Event (the armus-serve ingest loop) allocates nothing once the
+// buffers are warm. On error e is left in an unspecified (but safely
+// reusable) state.
+func decodeEventInto(frame []byte, e *Event) error {
+	d := &eventDecoder{buf: frame}
+	resetEvent(e)
 	kind, err := d.uvarint()
 	if err != nil {
-		return e, err
+		return err
 	}
 	e.Kind = Kind(kind)
 	switch e.Kind {
@@ -488,7 +586,7 @@ func decodeEvent(frame []byte) (Event, error) {
 		}
 		e.Task, e.Phaser = deps.TaskID(t), deps.PhaserID(q)
 	case KindBlock:
-		e.Status, err = d.status()
+		err = d.statusInto(&e.Status)
 		e.Task = e.Status.Task
 	case KindUnblock:
 		var t int64
@@ -500,7 +598,7 @@ func decodeEvent(frame []byte) (Event, error) {
 			e.Verdict = VerdictKind(vk)
 			switch e.Verdict {
 			case VerdictRejected:
-				e.Status, err = d.status()
+				err = d.statusInto(&e.Status)
 				e.Task = e.Status.Task
 			case VerdictReported:
 			default:
@@ -510,9 +608,6 @@ func decodeEvent(frame []byte) (Event, error) {
 		if err == nil {
 			var nt int
 			if nt, err = d.length(); err == nil {
-				if nt > 0 {
-					e.Tasks = make([]deps.TaskID, 0, nt)
-				}
 				for i := 0; i < nt && err == nil; i++ {
 					var t int64
 					if t, err = d.varint(); err == nil {
@@ -524,9 +619,6 @@ func decodeEvent(frame []byte) (Event, error) {
 		if err == nil {
 			var nr int
 			if nr, err = d.length(); err == nil {
-				if nr > 0 {
-					e.Resources = make([]deps.Resource, 0, nr)
-				}
 				for i := 0; i < nr && err == nil; i++ {
 					var q, ph int64
 					if q, err = d.varint(); err == nil {
@@ -541,12 +633,12 @@ func decodeEvent(frame []byte) (Event, error) {
 		err = fmt.Errorf("trace: unknown event kind %d", kind)
 	}
 	if err != nil {
-		return Event{}, err
+		return err
 	}
 	if len(d.buf) != 0 {
-		return Event{}, fmt.Errorf("trace: %d unconsumed bytes in %v frame", len(d.buf), e.Kind)
+		return fmt.Errorf("trace: %d unconsumed bytes in %v frame", len(d.buf), e.Kind)
 	}
-	return e, nil
+	return nil
 }
 
 // Encode writes the whole trace to w: header, every event, CRC footer.

@@ -392,6 +392,44 @@ func (e *avoidEngine) probe(b deps.Blocked) (bool, error) {
 
 func (e *avoidEngine) close() {}
 
+// AvoidEngine exposes the avoidance reference engine to out-of-process
+// parity checks (internal/client.ReplayTrace mirrors a remote armus-serve
+// gate against it). There is deliberately ONE in-process reference for
+// the avoidance semantics — this engine — so a future change to the gate
+// query cannot drift the replay pipeline and the wire-parity mirror
+// apart; the independent implementation under test is the server's.
+type AvoidEngine struct {
+	e avoidEngine
+}
+
+// NewAvoidEngine returns an empty avoidance reference engine.
+func NewAvoidEngine() *AvoidEngine {
+	return &AvoidEngine{e: *newAvoidEngine()}
+}
+
+// Gate runs the avoidance gate on b: the status is tentatively inserted
+// and, when that closes a cycle through b.Task, rolled back again. It
+// reports whether the block was REJECTED; an admitted status stays in
+// the engine state.
+func (m *AvoidEngine) Gate(b deps.Blocked) (rejected bool) {
+	m.e.state.SetBlocked(b)
+	if c, _ := m.e.state.CycleThrough(b.Task, &m.e.sc); c != nil {
+		m.e.state.Clear(b.Task)
+		return true
+	}
+	m.e.blocked[b.Task] = true
+	return false
+}
+
+// Clear removes a blocked status (the task resumed).
+func (m *AvoidEngine) Clear(t deps.TaskID) { _ = m.e.clear(t) }
+
+// Deadlocked reports the engine verdict: any blocked task on a cycle.
+func (m *AvoidEngine) Deadlocked() bool {
+	d, _ := m.e.verdict()
+	return d
+}
+
 // detectEngine answers verdicts with the detection pipeline's machinery: a
 // real verifier's full scan — snapshot, graph build under the configured
 // model, cycle search — via CheckNow, which shares runCheck with the

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"armus/internal/deps"
+)
+
+// wireEvents builds a mixed-kind event sequence.
+func wireEvents(n int) []Event {
+	var out []Event
+	for i := 0; i < n; i++ {
+		t := deps.TaskID(i%64 + 1)
+		q := deps.PhaserID(i%8 + 1)
+		switch i % 4 {
+		case 0:
+			out = append(out, Event{Kind: KindRegister, Task: t, Phaser: q, Phase: int64(i), Mode: 3})
+		case 1:
+			out = append(out, Event{Kind: KindBlock, Task: t, Status: deps.Blocked{
+				Task:     t,
+				WaitsFor: []deps.Resource{{Phaser: q, Phase: int64(i)}},
+				Regs:     []deps.Reg{{Phaser: q, Phase: int64(i)}},
+			}})
+		case 2:
+			out = append(out, Event{Kind: KindUnblock, Task: t})
+		default:
+			out = append(out, Event{Kind: KindArrive, Task: t, Phaser: q, Phase: int64(i)})
+		}
+	}
+	return out
+}
+
+// TestNextIntoMatchesNext: the buffer-reusing decode path yields exactly
+// the events the allocating path yields.
+func TestNextIntoMatchesNext(t *testing.T) {
+	events := wireEvents(200)
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Trace{Label: "wire", Mode: 2, Events: events}); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+
+	want, err := Decode(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	var got []Event
+	for {
+		err := r.NextInto(&e)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// NextInto reuses e's storage: deep-copy before keeping.
+		got = append(got, Event{
+			Kind: e.Kind, Task: e.Task, Phaser: e.Phaser, Phase: e.Phase,
+			Mode: e.Mode, Verdict: e.Verdict,
+			Status: deps.Blocked{
+				Task:     e.Status.Task,
+				WaitsFor: append([]deps.Resource(nil), e.Status.WaitsFor...),
+				Regs:     append([]deps.Reg(nil), e.Status.Regs...),
+			},
+			Tasks:     append([]deps.TaskID(nil), e.Tasks...),
+			Resources: append([]deps.Resource(nil), e.Resources...),
+		})
+	}
+	if len(got) != len(want.Events) {
+		t.Fatalf("NextInto decoded %d events, Next %d", len(got), len(want.Events))
+	}
+	for i := range got {
+		a, b := got[i], want.Events[i]
+		if a.Kind != b.Kind || a.Task != b.Task || a.Phaser != b.Phaser ||
+			a.Phase != b.Phase || a.Mode != b.Mode || a.Verdict != b.Verdict ||
+			a.Status.Task != b.Status.Task ||
+			!sameResources(a.Status.WaitsFor, b.Status.WaitsFor) ||
+			!sameRegs(a.Status.Regs, b.Status.Regs) {
+			t.Fatalf("event %d differs:\nNextInto: %+v\nNext:     %+v", i, a, b)
+		}
+	}
+}
+
+func sameResources(a, b []deps.Resource) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameRegs(a, b []deps.Reg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNextIntoZeroAlloc: steady-state streaming decode (the armus-serve
+// ingest loop) allocates nothing once the frame and event buffers are
+// warm.
+func TestNextIntoZeroAlloc(t *testing.T) {
+	events := wireEvents(4000)
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Trace{Label: "alloc", Mode: 2, Events: events}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	for i := 0; i < 100; i++ { // warm the buffers
+		if err := r.NextInto(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 10; i++ {
+			if err := r.NextInto(&e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if n != 0 {
+		t.Fatalf("NextInto allocates %.1f per 10 events, want 0", n)
+	}
+}
+
+// TestWriterFlushStreamsLive: Flush makes frames visible to a concurrent
+// reader before Close — the property the live wire protocol depends on —
+// and Close still finishes the stream with a verifiable footer.
+func TestWriterFlushStreamsLive(t *testing.T) {
+	pr, pw := io.Pipe()
+	type read struct {
+		e   Event
+		err error
+	}
+	reads := make(chan read)
+	go func() {
+		r, err := NewReader(pr)
+		if err != nil {
+			reads <- read{err: err}
+			return
+		}
+		for {
+			e, err := r.Next()
+			reads <- read{e: e, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	w, err := NewWriter(pw, "live", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEvent(Event{Kind: KindUnblock, Task: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := <-reads
+	if got.err != nil || got.e.Kind != KindUnblock || got.e.Task != 7 {
+		t.Fatalf("live read = %+v, %v", got.e, got.err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if got := <-reads; got.err != io.EOF {
+		t.Fatalf("after Close: %v, want io.EOF (clean CRC-verified end)", got.err)
+	}
+}
+
+// TestWriteEventBufferReuseKeepsFramesIntact: the writer's reused
+// encoding buffer must never corrupt earlier frames (they are copied out
+// by the bufio layer before reuse).
+func TestWriteEventBufferReuseKeepsFramesIntact(t *testing.T) {
+	events := wireEvents(64)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "reuse", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := w.WriteEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(events) {
+		t.Fatalf("decoded %d events, wrote %d", len(got.Events), len(events))
+	}
+	for i := range events {
+		if !reflect.DeepEqual(normalize(got.Events[i]), normalize(events[i])) {
+			t.Fatalf("event %d corrupted by buffer reuse:\ngot  %+v\nwant %+v", i, got.Events[i], events[i])
+		}
+	}
+}
+
+func normalize(e Event) Event {
+	if len(e.Status.WaitsFor) == 0 {
+		e.Status.WaitsFor = nil
+	}
+	if len(e.Status.Regs) == 0 {
+		e.Status.Regs = nil
+	}
+	if len(e.Tasks) == 0 {
+		e.Tasks = nil
+	}
+	if len(e.Resources) == 0 {
+		e.Resources = nil
+	}
+	return e
+}
