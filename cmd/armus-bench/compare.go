@@ -8,17 +8,31 @@ import (
 	"strings"
 )
 
-// The bench-compare gate: every percentage cell of the current run (the
-// per-kernel overhead columns of tables 1-2) is matched against the same
-// cell of a checked-in baseline run and must not exceed it by more than
-// the tolerance, in absolute percentage points. Overheads are relative to
-// the unchecked run on the same machine, so the comparison is meaningful
-// across hardware (a CI runner vs the laptop that minted the baseline) —
-// absolute-time cells are ignored for exactly that reason.
+// The bench-compare gate matches two kinds of cells between the current
+// run and a checked-in baseline run:
 //
-// Points (not a ratio of the baseline) keep the gate stable where it
-// matters: a 2% baseline jumping to 9% is noise a ratio rule would flag,
-// while a 40-point jump is a regression no matter where it started.
+//   - Percentage cells (the per-kernel overhead columns of tables 1-2)
+//     must not exceed the baseline by more than the tolerance, in absolute
+//     percentage points. Overheads are relative to the unchecked run on
+//     the same machine, so the comparison is meaningful across hardware
+//     (a CI runner vs the laptop that minted the baseline). Points (not a
+//     ratio of the baseline) keep the gate stable where it matters: a 2%
+//     baseline jumping to 9% is noise a ratio rule would flag, while a
+//     40-point jump is a regression no matter where it started.
+//
+//   - Microsecond latency cells (the serve experiment's gate p50/p99
+//     trajectory) must not exceed the baseline by more than a multiplier.
+//     Latencies are absolute, so cross-hardware comparisons are noisier
+//     than overhead ratios; the multiplier plus a small absolute slack
+//     (latSlackMicros, which keeps single-digit-µs baselines from tripping
+//     on scheduler jitter) catches an order-of-magnitude regression — a
+//     contended lock back on the hot path — without flagging machine
+//     variance. Other absolute-time cells (throughput, wall clock) are
+//     ignored entirely.
+
+// latSlackMicros is added to the scaled latency bound so tiny baselines
+// (p50 of a single uncontended client is ~10µs) don't fail on noise.
+const latSlackMicros = 100
 
 // cellKey addresses one comparable cell across runs.
 type cellKey struct {
@@ -69,11 +83,51 @@ func parsePercent(s string) (float64, bool) {
 	return v, true
 }
 
+// latencyCells extracts every cell parseable as a microsecond latency
+// (the "NNNµs" format the harness emits for the serve gate columns).
+func latencyCells(results []jsonResult) map[cellKey]float64 {
+	out := map[cellKey]float64{}
+	for _, res := range results {
+		for _, t := range res.Tables {
+			for _, row := range t.Rows {
+				if len(row) == 0 {
+					continue
+				}
+				for i, cell := range row {
+					if i == 0 || i >= len(t.Header) {
+						continue
+					}
+					v, ok := parseMicros(cell)
+					if !ok {
+						continue
+					}
+					out[cellKey{res.Experiment, t.Title, row[0], t.Header[i]}] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseMicros(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	if !strings.HasSuffix(s, "µs") {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "µs"), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
 // compareBaseline checks current against the baseline file. It returns an
-// error when any overhead cell regressed beyond tolerancePts, when the two
-// runs share no comparable cells (flag drift would otherwise turn the gate
-// green by matching nothing), or when a baseline cell disappeared.
-func compareBaseline(current []jsonResult, baselinePath string, tolerancePts float64) error {
+// error when any overhead cell regressed beyond tolerancePts, when any
+// latency cell regressed beyond latMult times the baseline (plus the
+// fixed slack), when the two runs share no comparable cells (flag drift
+// would otherwise turn the gate green by matching nothing), or when a
+// baseline cell disappeared.
+func compareBaseline(current []jsonResult, baselinePath string, tolerancePts, latMult float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("bench-compare: %w", err)
@@ -82,12 +136,12 @@ func compareBaseline(current []jsonResult, baselinePath string, tolerancePts flo
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		return fmt.Errorf("bench-compare: %s: %w", baselinePath, err)
 	}
-	base := percentCells(baseline)
-	cur := percentCells(current)
 	var regressions, missing []string
 	matched := 0
-	for k, b := range base {
-		c, ok := cur[k]
+
+	basePct, curPct := percentCells(baseline), percentCells(current)
+	for k, b := range basePct {
+		c, ok := curPct[k]
 		if !ok {
 			missing = append(missing, k.String())
 			continue
@@ -99,6 +153,22 @@ func compareBaseline(current []jsonResult, baselinePath string, tolerancePts flo
 					k, c, b, c-b, tolerancePts))
 		}
 	}
+
+	baseLat, curLat := latencyCells(baseline), latencyCells(current)
+	for k, b := range baseLat {
+		c, ok := curLat[k]
+		if !ok {
+			missing = append(missing, k.String())
+			continue
+		}
+		matched++
+		if bound := b*latMult + latSlackMicros; c > bound {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0fµs vs baseline %.0fµs (bound %.0fµs = %.1fx + %dµs)",
+					k, c, b, bound, latMult, latSlackMicros))
+		}
+	}
+
 	for _, r := range regressions {
 		fmt.Fprintln(os.Stderr, "bench-compare: REGRESSION", r)
 	}
@@ -111,9 +181,9 @@ func compareBaseline(current []jsonResult, baselinePath string, tolerancePts flo
 	case len(missing) > 0:
 		return fmt.Errorf("bench-compare: %d baseline cells missing (run flags must match the baseline's)", len(missing))
 	case len(regressions) > 0:
-		return fmt.Errorf("bench-compare: %d overhead regressions beyond %.0f points", len(regressions), tolerancePts)
+		return fmt.Errorf("bench-compare: %d regressions beyond tolerance (%.0f points / %.1fx)", len(regressions), tolerancePts, latMult)
 	}
-	fmt.Fprintf(os.Stderr, "bench-compare: %d cells within %.0f points of %s\n",
-		matched, tolerancePts, baselinePath)
+	fmt.Fprintf(os.Stderr, "bench-compare: %d cells within tolerance (%.0f points / %.1fx) of %s\n",
+		matched, tolerancePts, latMult, baselinePath)
 	return nil
 }

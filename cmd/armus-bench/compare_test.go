@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"armus/internal/harness"
+)
+
+// serveResults builds a run shaped like the serve experiment: one table
+// whose rows mix throughput (ignored), percent, and µs latency cells.
+func serveResults(p99at64 string) []jsonResult {
+	return []jsonResult{{
+		Experiment: "serve",
+		Tables: []*harness.Table{{
+			Title:  "Service gate trajectory",
+			Header: []string{"Clients", "Events/s", "Overhead", "Gate p99"},
+			Rows: [][]string{
+				{"1", "197767/s", "12%", "40µs"},
+				{"64", "153611/s", "15%", p99at64},
+			},
+		}},
+	}}
+}
+
+func writeBaseline(t *testing.T, results []jsonResult) string {
+	t.Helper()
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseMicros(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"40µs", 40, true},
+		{" 3228µs ", 3228, true},
+		{"40ms", 0, false},
+		{"153611/s", 0, false},
+		{"µs", 0, false},
+		{"12%", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseMicros(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseMicros(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestCompareBaselineLatencyGate(t *testing.T) {
+	base := writeBaseline(t, serveResults("3228µs"))
+
+	// Within the multiplier: fine.
+	if err := compareBaseline(serveResults("6000µs"), base, 25, 3); err != nil {
+		t.Fatalf("in-bound latency flagged: %v", err)
+	}
+	// Beyond baseline*mult+slack: the gate trips.
+	if err := compareBaseline(serveResults("12000µs"), base, 25, 3); err == nil {
+		t.Fatal("3.7x latency regression not flagged")
+	}
+	// The absolute slack keeps single-digit-µs cells from tripping on
+	// jitter: 40µs -> 130µs is under 40*3+100.
+	cur := serveResults("3228µs")
+	cur[0].Tables[0].Rows[0][3] = "130µs"
+	if err := compareBaseline(cur, base, 25, 3); err != nil {
+		t.Fatalf("jitter within slack flagged: %v", err)
+	}
+	// A vanished latency column is flag drift, not a green gate.
+	cur = serveResults("3228µs")
+	cur[0].Tables[0].Header[3] = "Gate p99.5"
+	if err := compareBaseline(cur, base, 25, 3); err == nil {
+		t.Fatal("missing baseline latency cells not flagged")
+	}
+}

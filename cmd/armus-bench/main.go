@@ -18,10 +18,14 @@
 // With -baseline the run additionally becomes the CI perf-trajectory gate:
 // every per-kernel overhead cell is compared against the same cell of the
 // given (previously archived) JSON file and the process exits non-zero
-// when any cell regressed by more than -tolerance percentage points:
+// when any cell regressed by more than -tolerance percentage points, and
+// every gate-latency cell (the serve experiment's p50/p99 columns) when it
+// exceeds -lat-tolerance times its baseline:
 //
 //	armus-bench -exp table2 -samples 5 -class 1 -tasks 2,4 -json \
 //	    -baseline bench_baseline.json -tolerance 30 > bench.json
+//	armus-bench -exp serve -samples 3 -json \
+//	    -baseline BENCH_2026-08-07-serve.json -lat-tolerance 3 > serve.json
 //
 // Regenerate the baseline with the exact same experiment flags whenever an
 // intentional perf change moves the floor.
@@ -59,8 +63,9 @@ func main() {
 		period       = flag.Duration("period", 100*time.Millisecond, "detection scan period")
 		schedules    = flag.Int("schedules", 500, "seeded schedules per pipeline for the explore experiment")
 		asJSON       = flag.Bool("json", false, "emit results as JSON on stdout instead of text tables")
-		baseline     = flag.String("baseline", "", "compare overhead cells against this archived -json file and fail on regression")
+		baseline     = flag.String("baseline", "", "compare overhead and latency cells against this archived -json file and fail on regression")
 		tolerance    = flag.Float64("tolerance", 25, "allowed overhead regression vs -baseline, in percentage points")
+		latTolerance = flag.Float64("lat-tolerance", 3, "allowed latency regression vs -baseline, as a multiplier")
 	)
 	flag.Parse()
 
@@ -126,7 +131,7 @@ func main() {
 		}
 	}
 	if *baseline != "" {
-		if err := compareBaseline(results, *baseline, *tolerance); err != nil {
+		if err := compareBaseline(results, *baseline, *tolerance, *latTolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "armus-bench:", err)
 			os.Exit(1)
 		}

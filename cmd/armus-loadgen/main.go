@@ -83,7 +83,7 @@ func main() {
 
 	type result struct {
 		events, mutations, rejections, checkpoints int
-		lat                                        []time.Duration
+		lat                                        client.LatencyHist
 		err                                        error
 	}
 	results := make([]result, *clients)
@@ -119,7 +119,7 @@ func main() {
 						r.mutations += st.Mutations
 						r.rejections += st.Rejections
 						r.checkpoints += st.Checkpoints
-						r.lat = append(r.lat, st.GateLatencies...)
+						r.lat.Merge(&st.Gate)
 					}
 					cerr := c.Close()
 					if err != nil {
@@ -138,7 +138,7 @@ func main() {
 	elapsed := time.Since(start)
 
 	var events, mutations, rejections, checkpoints int
-	var lat []time.Duration
+	var lat client.LatencyHist
 	failed := false
 	for i := range results {
 		r := &results[i]
@@ -150,13 +150,13 @@ func main() {
 		mutations += r.mutations
 		rejections += r.rejections
 		checkpoints += r.checkpoints
-		lat = append(lat, r.lat...)
+		lat.Merge(&r.lat)
 	}
 	fmt.Printf("armus-loadgen: %d events (%d mutations, %d checkpoints, %d gate rejections) in %v = %.0f events/s\n",
 		events, mutations, checkpoints, rejections, elapsed, float64(events)/elapsed.Seconds())
-	if len(lat) > 0 {
-		fmt.Printf("armus-loadgen: gate latency p50=%v p99=%v over %d round trips\n",
-			client.Percentile(lat, 50), client.Percentile(lat, 99), len(lat))
+	if lat.Count() > 0 {
+		fmt.Printf("armus-loadgen: gate latency p50=%v p99=%v max=%v over %d round trips\n",
+			lat.Percentile(50), lat.Percentile(99), lat.Max(), lat.Count())
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "armus-loadgen: FAILED")

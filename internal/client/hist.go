@@ -1,0 +1,106 @@
+package client
+
+import (
+	"fmt"
+	"time"
+)
+
+const (
+	// histBuckets is the linear range of the histogram: one bucket per
+	// microsecond. 8192 buckets cover 8.192ms; slower observations land
+	// in the overflow tail, which keeps exact count, sum and max, so
+	// percentiles that fall in the tail still have an honest upper bound.
+	histBuckets    = 8192
+	histBucketSize = time.Microsecond
+)
+
+// LatencyHist is a fixed-bucket, microsecond-resolution latency
+// histogram. Observing is one increment — no per-sample allocation, no
+// sort at report time — so a load generator can keep it hot at hundreds
+// of thousands of observations per second, and percentiles are stable
+// across runs because the bucketing, not the sample order, defines them.
+// Not safe for concurrent use; give each worker its own and Merge.
+type LatencyHist struct {
+	counts   [histBuckets]uint32
+	overflow uint64
+	total    uint64
+	sum      time.Duration
+	max      time.Duration
+}
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.total++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if i := d / histBucketSize; i < histBuckets {
+		h.counts[i]++
+	} else {
+		h.overflow++
+	}
+}
+
+// Merge folds o into h.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	if o == nil {
+		return
+	}
+	for i := range o.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.overflow += o.overflow
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() int { return int(h.total) }
+
+// Max returns the largest observation.
+func (h *LatencyHist) Max() time.Duration { return h.max }
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *LatencyHist) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Percentile returns the p-th percentile (0..100, nearest-rank) as the
+// upper bound of the bucket the rank falls in — 1µs resolution inside the
+// linear range, Max for ranks in the overflow tail, 0 when empty.
+func (h *LatencyHist) Percentile(p float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(p/100*float64(h.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += uint64(h.counts[i])
+		if seen >= rank {
+			return time.Duration(i+1) * histBucketSize
+		}
+	}
+	return h.max
+}
+
+// String summarises the histogram for logs.
+func (h *LatencyHist) String() string {
+	return fmt.Sprintf("n=%d p50=%v p99=%v max=%v",
+		h.total, h.Percentile(50), h.Percentile(99), h.max)
+}

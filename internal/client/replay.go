@@ -3,7 +3,6 @@ package client
 import (
 	"errors"
 	"fmt"
-	"slices"
 	"time"
 
 	"armus/internal/core"
@@ -38,9 +37,10 @@ type ReplayStats struct {
 	// results in order.
 	Checkpoints int
 	Verdicts    []bool
-	// GateLatencies holds one round-trip time per gated Block (avoidance
-	// sessions only).
-	GateLatencies []time.Duration
+	// Gate holds one round-trip time per gated Block (avoidance sessions
+	// only), as a fixed-bucket µs histogram: cheap enough to leave on
+	// under load, stable percentiles across samples.
+	Gate LatencyHist
 }
 
 // ReplayTrace streams a recorded trace through c's session and
@@ -117,7 +117,7 @@ func ReplayTrace(c *Client, tr *trace.Trace, o ReplayOptions) (*ReplayStats, err
 			expectReject := mirror.Gate(e.Status)
 			start := time.Now()
 			err := c.Block(e.Status)
-			st.GateLatencies = append(st.GateLatencies, time.Since(start))
+			st.Gate.Observe(time.Since(start))
 			var ge *GateError
 			rejected := errors.As(err, &ge)
 			if err != nil && !rejected {
@@ -156,22 +156,4 @@ func ReplayTrace(c *Client, tr *trace.Trace, o ReplayOptions) (*ReplayStats, err
 		}
 	}
 	return st, nil
-}
-
-// Percentile returns the p-th percentile (0..100, nearest-rank) of the
-// given latencies; 0 when empty. The input is not modified.
-func Percentile(lat []time.Duration, p float64) time.Duration {
-	if len(lat) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), lat...)
-	slices.Sort(sorted)
-	rank := int(p/100*float64(len(sorted))+0.5) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return sorted[rank]
 }

@@ -26,8 +26,9 @@ func microDur(d time.Duration) string {
 // 64 concurrent client sessions (one session per client — the multi-
 // tenant shape), every block round-tripping the avoidance gate. Reported
 // per client count: aggregate ingest throughput (events/sec over the
-// wall clock of the whole fleet) and the p50/p99 gate round-trip
-// latency. Parity is asserted while measuring: each client's mirror gate
+// wall clock of the whole fleet) and the gate round-trip latency
+// trajectory (p50/p99/p99.9, from the client SDK's µs-resolution
+// histogram). Parity is asserted while measuring: each client's mirror gate
 // (client.ReplayTrace) must agree with the server decision for decision,
 // so the benchmark doubles as a correctness gate.
 func RunServe(o Options) (*Table, error) {
@@ -51,11 +52,11 @@ func RunServe(o Options) (*Table, error) {
 	t := &Table{
 		Title: fmt.Sprintf("Serve: %d-event CG trace per client vs a live armus-serve, gated blocks, %d samples",
 			len(tr.Events), o.Samples),
-		Header: []string{"Clients", "Events", "Mean", "CI", "Events/s", "Gate p50", "Gate p99"},
+		Header: []string{"Clients", "Events", "Mean", "CI", "Events/s", "Gate p50", "Gate p99", "Gate p99.9"},
 	}
 	for _, n := range serveClientCounts {
 		var m Measurement
-		var lat []time.Duration
+		var lat client.LatencyHist
 		var submitted int
 		for s := 0; s <= o.Samples; s++ {
 			start := time.Now()
@@ -93,9 +94,11 @@ func RunServe(o Options) (*Table, error) {
 			}
 			m.Samples = append(m.Samples, elapsed)
 			// Percentiles are computed over every measured sample's round
-			// trips, matching the Mean/CI column's population.
+			// trips, matching the Mean/CI column's population. The µs
+			// histogram keeps them stable across samples (bucketing, not
+			// sample order, defines them).
 			for i := 0; i < n; i++ {
-				lat = append(lat, stats[i].GateLatencies...)
+				lat.Merge(&stats[i].Gate)
 			}
 		}
 		perSec := float64(submitted) / m.Mean().Seconds()
@@ -104,8 +107,9 @@ func RunServe(o Options) (*Table, error) {
 			fmt.Sprintf("%d", submitted),
 			Dur(m.Mean()), Dur(m.CI95()),
 			fmt.Sprintf("%.0f", perSec),
-			microDur(client.Percentile(lat, 50)),
-			microDur(client.Percentile(lat, 99)),
+			microDur(lat.Percentile(50)),
+			microDur(lat.Percentile(99)),
+			microDur(lat.Percentile(99.9)),
 		})
 	}
 	t.Fprint(o.Out)

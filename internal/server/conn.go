@@ -1,11 +1,12 @@
 package server
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -14,24 +15,46 @@ import (
 	"armus/internal/trace"
 )
 
-// conn is one accepted client connection: a trace-stream read loop, a
-// bounded outbound response queue, and the writer goroutine draining it.
+// batchesPerConn is the size of a connection's decode-batch free ring: how
+// many batches may be in flight (decoded but not yet executor-processed)
+// per connection. An empty ring stalls the read loop, which stops reading
+// the socket — ingress backpressure is the TCP window, same as before the
+// executor split.
+const batchesPerConn = 4
+
+// conn is one accepted client connection: a read loop that only decodes
+// and enqueues (the session executor does all verification), and a writer
+// goroutine flushing the coalesce buffer responses are encoded into.
 type conn struct {
 	srv  *Server
 	nc   net.Conn
 	sess *session
 
-	// out is the bounded egress queue. session.apply and the server push
-	// responses with send (never blocking); writeLoop drains, encodes
-	// and flushes. An overflowing queue disconnects the connection.
-	out        chan proto.Response
+	// free is the decode-batch ring; batches cycle read loop -> session
+	// queue -> executor -> back here. pushed (read-loop local) and applied
+	// (executor-written) count batches through that cycle; their gap is
+	// the connection's in-flight work, and awaitApplied closes it before
+	// teardown so trailing responses make the writer's final flush.
+	free    chan *batch
+	pushed  int64
+	applied atomic.Int64
+
+	// Egress: responses are encoded under wmu into wbuf (bounded by
+	// response count, wcount) and the writer is nudged through wsig; the
+	// writer swaps the buffer out and writes it with a single Write call,
+	// so one syscall carries every response that accumulated since the
+	// last flush.
+	wmu        sync.Mutex
+	wbuf       []byte
+	wcount     int
+	wsig       chan struct{}
 	done       chan struct{} // closed by the handler when the read side ends
 	writerDone chan struct{}
 
 	subscribe bool
 	slow      atomic.Bool
 	// checkSeq numbers this connection's checkpoints; only the session
-	// apply path (serialised per connection by the read loop) touches it.
+	// executor (single-writer) touches it.
 	checkSeq uint64
 }
 
@@ -44,7 +67,7 @@ func (s *Server) handleConn(nc net.Conn) {
 	c := &conn{
 		srv:        s,
 		nc:         nc,
-		out:        make(chan proto.Response, s.cfg.QueueLen),
+		wsig:       make(chan struct{}, 1),
 		done:       make(chan struct{}),
 		writerDone: make(chan struct{}),
 	}
@@ -59,8 +82,11 @@ func (s *Server) handleConn(nc net.Conn) {
 
 	go c.writeLoop()
 	defer func() {
-		// Read side done: let the writer flush what is queued (a goodbye,
-		// trailing gate decisions), then drop the socket and deregister.
+		// Read side done: wait for the executor to finish this
+		// connection's in-flight batches (their responses land in the
+		// coalesce buffer), let the writer flush everything, then drop the
+		// socket and deregister.
+		c.awaitApplied()
 		close(c.done)
 		<-c.writerDone
 		nc.Close()
@@ -101,26 +127,34 @@ func (s *Server) handleConn(nc net.Conn) {
 	defer sess.detach(c)
 	c.send(proto.Response{Kind: proto.RespHello, Mode: uint8(sess.mode), Resumed: resumed})
 
-	// The ingest loop: decode into a reused batch (zero steady-state
-	// allocations — see TestIngestHotPathZeroAlloc), greedily folding in
-	// whatever further frames are already buffered, and apply the batch
-	// under the session lock.
-	batch := make([]trace.Event, s.cfg.MaxBatch)
+	// The ingest loop: take a free batch (blocking here is the
+	// backpressure), decode into it with the zero-alloc NextInto path,
+	// greedily folding in whatever further frames are already buffered,
+	// and hand it to the session executor. This loop never touches the
+	// verifier engine.
+	c.free = make(chan *batch, batchesPerConn)
+	for i := 0; i < batchesPerConn; i++ {
+		c.free <- &batch{c: c, events: make([]trace.Event, s.cfg.MaxBatch)}
+	}
 	for {
-		n := 0
-		err := tr.NextInto(&batch[0])
+		b := <-c.free
+		b.n = 0
+		err := tr.NextInto(&b.events[0])
 		if err == nil {
-			n = 1
-			for n < len(batch) && tr.Buffered() > 0 {
-				if e2 := tr.NextInto(&batch[n]); e2 != nil {
+			b.n = 1
+			for b.n < len(b.events) && tr.Buffered() > 0 {
+				if e2 := tr.NextInto(&b.events[b.n]); e2 != nil {
 					err = e2
 					break
 				}
-				n++
+				b.n++
 			}
 		}
-		if n > 0 {
-			sess.apply(c, batch[:n])
+		if b.n > 0 {
+			c.pushed++
+			sess.enqueue(b)
+		} else {
+			c.free <- b
 		}
 		if err != nil {
 			switch {
@@ -131,11 +165,46 @@ func (s *Server) handleConn(nc net.Conn) {
 				// the session lives on until its lease expires.
 			default:
 				s.m.MalformedConns.Add(1)
+				// Order the goodbye after the responses of every batch
+				// already enqueued.
+				c.awaitApplied()
 				c.send(proto.Response{Kind: proto.RespGoodbye, Code: proto.ByeMalformed, Msg: err.Error()})
 				s.cfg.Logf("armus-serve: session %q: malformed stream: %v", h.Session, err)
 			}
 			return
 		}
+	}
+}
+
+// awaitApplied waits (bounded, defensively) until the session executor
+// has processed every batch this connection enqueued. The executor
+// outlives every read loop by construction, so this terminates quickly;
+// the deadline only guards against a wedged engine taking teardown down
+// with it.
+func (c *conn) awaitApplied() {
+	if c.pushed == 0 || c.applied.Load() >= c.pushed {
+		return
+	}
+	deadline := time.Now().Add(time.Second)
+	for spins := 0; c.applied.Load() < c.pushed; spins++ {
+		if spins < 64 {
+			runtime.Gosched()
+			continue
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// recycle returns a processed batch to its connection's free ring. Every
+// batch of the ring is in exactly one place (ring, read loop, queue, or
+// executor), so the ring always has room.
+func (c *conn) recycle(b *batch) {
+	select {
+	case c.free <- b:
+	default:
 	}
 }
 
@@ -151,82 +220,89 @@ func (c *conn) refuse(code byte, err error) {
 	c.srv.cfg.Logf("armus-serve: refused connection (%s): %v", proto.ByeString(code), err)
 }
 
-// send enqueues a response without ever blocking. A full queue means the
-// peer is not draining its read side while we still have verdicts to
+// send encodes a response into the connection's coalesce buffer and
+// nudges the writer; it never blocks on the socket. The buffer is bounded
+// by RESPONSE COUNT: a peer holding more than QueueLen undelivered
+// responses is not draining its read side while we still have verdicts to
 // deliver — the slow-consumer policy is to disconnect it (bounded memory
-// beats an unbounded backlog). Returns false if the response was dropped.
+// beats an unbounded backlog). Returns false if the response was dropped
+// (teardown, overflow, encode failure).
 func (c *conn) send(r proto.Response) bool {
+	if c.slow.Load() {
+		return false
+	}
 	select {
-	case c.out <- r:
-		return true
+	case <-c.done:
+		// The writer has done its final flush; buffering more would leak.
+		return false
 	default:
+	}
+	c.wmu.Lock()
+	b, err := proto.AppendResponse(c.wbuf, &r)
+	if err != nil {
+		c.wmu.Unlock()
+		return false
+	}
+	c.wbuf = b
+	c.wcount++
+	over := c.wcount > c.srv.cfg.QueueLen
+	c.wmu.Unlock()
+	if over {
 		if c.slow.CompareAndSwap(false, true) {
 			c.srv.m.SlowDisconnects.Add(1)
-			c.srv.cfg.Logf("armus-serve: disconnecting slow consumer (queue %d full)", cap(c.out))
+			c.srv.cfg.Logf("armus-serve: disconnecting slow consumer (%d responses backlogged)",
+				c.srv.cfg.QueueLen)
 			c.nc.Close() // read loop notices and tears the connection down
 		}
 		return false
 	}
+	select {
+	case c.wsig <- struct{}{}:
+	default:
+	}
+	return true
 }
 
-// queueDepth reports the current egress backlog (metrics gauge).
-func (c *conn) queueDepth() int { return len(c.out) }
+// queueDepth reports the current egress backlog in responses (metrics
+// gauge).
+func (c *conn) queueDepth() int {
+	c.wmu.Lock()
+	d := c.wcount
+	c.wmu.Unlock()
+	return d
+}
 
-// writeLoop drains the outbound queue: encode into a reused buffer, write,
-// flush once the queue is momentarily empty. Write errors close the socket
-// (the read loop notices); the loop keeps consuming so send never sticks.
+// writeLoop is the connection's single socket writer: woken through wsig,
+// it swaps the coalesce buffer for its spare and writes the whole thing
+// with one Write call — under load dozens of gate verdicts leave per
+// syscall. Write errors close the socket (the read loop notices); the
+// loop keeps swapping so send never sticks. The two buffers alternate, so
+// steady state allocates nothing.
 func (c *conn) writeLoop() {
 	defer close(c.writerDone)
-	bw := bufio.NewWriter(c.nc)
-	var buf []byte
+	var spare []byte
 	broken := false
-	writeOne := func(r *proto.Response) {
-		b, err := proto.AppendResponse(buf[:0], r)
-		if err != nil {
-			return
-		}
-		buf = b
-		if broken {
-			return
-		}
-		if _, err := bw.Write(b); err != nil {
-			broken = true
-			c.nc.Close()
-		}
-	}
 	flush := func() {
-		if broken {
-			return
+		c.wmu.Lock()
+		buf := c.wbuf
+		c.wbuf = spare[:0]
+		c.wcount = 0
+		c.wmu.Unlock()
+		if len(buf) > 0 && !broken {
+			if _, err := c.nc.Write(buf); err != nil {
+				broken = true
+				c.nc.Close()
+			}
 		}
-		if err := bw.Flush(); err != nil {
-			broken = true
-			c.nc.Close()
-		}
+		spare = buf[:0]
 	}
 	for {
 		select {
-		case r := <-c.out:
-			writeOne(&r)
-		greedy:
-			for {
-				select {
-				case r = <-c.out:
-					writeOne(&r)
-				default:
-					break greedy
-				}
-			}
+		case <-c.wsig:
 			flush()
 		case <-c.done:
-			for {
-				select {
-				case r := <-c.out:
-					writeOne(&r)
-				default:
-					flush()
-					return
-				}
-			}
+			flush()
+			return
 		}
 	}
 }

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"runtime"
+
+	"armus/internal/core"
+	"armus/internal/server/proto"
+	"armus/internal/trace"
+)
+
+// The session executor: one goroutine per session that owns the verifier
+// engine outright. Read loops decode and enqueue; only the executor
+// mutates deps.State or asks the verifier anything. Single-writer is what
+// lets the gate hot path drop every lock: the paper's Definition 4.1 makes
+// a blocked status a pure function of the blocked task, so merging the
+// statuses of many connections is order-insensitive per task — any
+// serialization the queue happens to produce yields the same verdicts an
+// in-process verifier would have, and one owner goroutine is the cheapest
+// serializer there is.
+
+// Executor states (session.execState).
+const (
+	execRunning int32 = iota
+	execParked
+)
+
+// enqueue hands a decoded batch to the session executor, waking it if it
+// parked. Called by connection read loops only; the executor lifecycle
+// guarantees it outlives every producer (see shutdownExecutor).
+//
+// The no-lost-wakeup argument: push increments q.depth before the node is
+// published, and both sides use sequentially consistent atomics. If the
+// executor's post-park depth check misses this push, then in the total
+// order the check preceded the increment, so the parked store preceded
+// this state load — the producer sees execParked and signals. If it does
+// not miss it, the executor unparks itself. Either way the batch is
+// processed.
+func (ss *session) enqueue(b *batch) {
+	ss.q.push(b)
+	if ss.execState.Load() == execParked &&
+		ss.execState.CompareAndSwap(execParked, execRunning) {
+		select {
+		case ss.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// runExecutor is the session's event loop: pop, process, park when idle,
+// drain and exit on stop.
+func (ss *session) runExecutor() {
+	defer close(ss.execDone)
+	for {
+		if b := ss.q.pop(); b != nil {
+			ss.process(b)
+			continue
+		}
+		if ss.q.depth.Load() != 0 {
+			// A producer is mid-push; its link is one store away.
+			runtime.Gosched()
+			continue
+		}
+		select {
+		case <-ss.stop:
+			ss.drainQueue()
+			return
+		default:
+		}
+		// Park. Publish the parked state first, then re-check the depth:
+		// a push that raced the publish is either seen here (un-park
+		// ourselves) or saw execParked and is signalling wake.
+		ss.execState.Store(execParked)
+		if ss.q.depth.Load() != 0 {
+			if ss.execState.CompareAndSwap(execParked, execRunning) {
+				continue
+			}
+		}
+		ss.srv.m.ExecParks.Add(1)
+		select {
+		case <-ss.wake:
+			// The waking producer already moved execState to running.
+		case <-ss.stop:
+			ss.execState.Store(execRunning)
+			ss.drainQueue()
+			return
+		}
+	}
+}
+
+// drainQueue processes everything enqueued before stop. stop is only
+// closed once no producer can push again, so the queue strictly shrinks.
+func (ss *session) drainQueue() {
+	for {
+		b := ss.q.pop()
+		if b == nil {
+			if ss.q.depth.Load() != 0 {
+				runtime.Gosched()
+				continue
+			}
+			return
+		}
+		ss.process(b)
+	}
+}
+
+// process applies one decoded batch — the ingest hot path, running on the
+// executor goroutine with exclusive engine ownership: no lock anywhere.
+// Steady-state (same tasks re-blocking, warm pools and buffers) it
+// performs zero heap allocations — guarded by TestExecutorPathZeroAlloc.
+func (ss *session) process(b *batch) {
+	c := b.c
+	events := b.events[:b.n]
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case trace.KindBlock:
+			if ss.mode == core.ModeAvoid {
+				ss.gate(c, e)
+			} else {
+				ss.st.SetBlocked(e.Status)
+			}
+		case trace.KindUnblock:
+			ss.st.Clear(e.Task)
+			if ss.blocked != nil {
+				delete(ss.blocked, e.Task)
+			}
+		case trace.KindVerdict:
+			// A client->server verdict event is a CHECKPOINT: "tell me
+			// whether the session is deadlocked right now". (Recorded
+			// traces carry verdict events too; ingesting one costs the
+			// sender an answer it may ignore.)
+			c.checkSeq++
+			ss.srv.m.Checkpoints.Add(1)
+			c.send(proto.Response{
+				Kind:       proto.RespVerdict,
+				Seq:        c.checkSeq,
+				Deadlocked: ss.verdict(),
+			})
+		default:
+			// Structural events (register/arrive/drop) do not mutate the
+			// dependency state — a membership change of a blocked task is
+			// always followed by its status refresh. Same contract as the
+			// replayer.
+		}
+	}
+	if ss.mode == core.ModeDetect {
+		ss.report()
+	}
+	ss.srv.m.Events.Add(int64(len(events)))
+	ss.srv.m.Batches.Add(1)
+	ss.srv.m.observeBatch(len(events))
+	c.applied.Add(1)
+	c.recycle(b)
+}
+
+// gate is the avoidance gate, verbatim the in-process semantics:
+// tentatively insert the status, run the targeted cycle query from the
+// blocking task, roll back and refuse on a cycle. The decision goes back
+// to the submitting connection only.
+func (ss *session) gate(c *conn, e *trace.Event) {
+	ss.st.SetBlocked(e.Status)
+	cyc, _ := ss.st.CycleThrough(e.Status.Task, &ss.sc)
+	if cyc == nil {
+		ss.blocked[e.Status.Task] = struct{}{}
+		ss.srv.m.GateAllowed.Add(1)
+		c.send(proto.Response{Kind: proto.RespGate, Task: e.Status.Task, Allowed: true})
+		return
+	}
+	ss.st.Clear(e.Status.Task)
+	ss.srv.m.GateRejected.Add(1)
+	// cyc is freshly allocated by the deadlock path; handing its slices
+	// to the coalesce buffer is safe.
+	c.send(proto.Response{
+		Kind:      proto.RespGate,
+		Task:      e.Status.Task,
+		Allowed:   false,
+		Tasks:     cyc.Tasks,
+		Resources: cyc.Resources,
+	})
+}
+
+// verdict answers "is the session state deadlocked right now" with the
+// session's engine — identical machinery to the replay pipelines.
+func (ss *session) verdict() bool {
+	if ss.mode == core.ModeAvoid {
+		for t := range ss.blocked {
+			if cyc, _ := ss.st.CycleThrough(t, &ss.sc); cyc != nil {
+				return true
+			}
+		}
+		return false
+	}
+	return ss.ver.CheckNow() != nil
+}
+
+// report pushes a deadlock report to every subscribed connection of the
+// session when the state transitions into a deadlock. CheckNow is
+// version-cached, so the steady (non-deadlocked, unchanged) case costs a
+// version compare; ss.mu is only taken on the transition.
+func (ss *session) report() {
+	derr := ss.ver.CheckNow()
+	d := derr != nil
+	if d && !ss.wasDeadlocked {
+		ss.srv.m.Reports.Add(1)
+		ss.srv.cfg.Logf("armus-serve: session %q deadlocked: %v", ss.name, derr)
+		ss.mu.Lock()
+		for c := range ss.conns {
+			if c.subscribe {
+				c.send(proto.Response{
+					Kind:      proto.RespReport,
+					Tasks:     derr.Cycle.Tasks,
+					Resources: derr.Cycle.Resources,
+				})
+			}
+		}
+		ss.mu.Unlock()
+	}
+	ss.wasDeadlocked = d
+}

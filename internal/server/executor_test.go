@@ -1,0 +1,347 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"armus/internal/client"
+	"armus/internal/clock"
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/server/proto"
+	"armus/internal/trace"
+	"armus/internal/trace/replay"
+)
+
+// TestExecutorPathZeroAlloc guards the acceptance criterion for the
+// executor rework: the FULL ingest path — wire decode (NextInto), MPSC
+// enqueue, executor pop + gate/mutate/checkpoint, coalesced response
+// encode — allocates nothing per batch once warm, in both session modes.
+// The executor goroutine is stopped and its pop/process loop run inline,
+// because AllocsPerRun only observes the calling goroutine; the inline
+// loop is byte-for-byte the code runExecutor runs.
+func TestExecutorPathZeroAlloc(t *testing.T) {
+	const (
+		tasks          = 64
+		eventsPerBatch = tasks + 1 + tasks // blocks, checkpoint, unblocks
+		batches        = 60                // > warmups + AllocsPerRun's 51 calls
+	)
+	// One steady round per batch: 64 tasks block (each arrived at its
+	// phaser, so the gate admits without refusing), one checkpoint, then
+	// everyone unblocks. Deadlock-free, so only the hot path runs.
+	var round []trace.Event
+	for i := 1; i <= tasks; i++ {
+		q := int64(i%8 + 1)
+		round = append(round, trace.Event{Kind: trace.KindBlock, Task: deps.TaskID(i),
+			Status: status(int64(i), []deps.Resource{res(q, 1)}, []deps.Reg{reg(q, 1)})})
+	}
+	round = append(round, trace.Event{Kind: trace.KindVerdict, Verdict: trace.VerdictReported})
+	for i := 1; i <= tasks; i++ {
+		round = append(round, trace.Event{Kind: trace.KindUnblock, Task: deps.TaskID(i)})
+	}
+
+	for _, mode := range []core.Mode{core.ModeAvoid, core.ModeDetect} {
+		t.Run(mode.String(), func(t *testing.T) {
+			// Pre-encode the wire stream the decode half will consume.
+			var wire bytes.Buffer
+			tw, err := trace.NewWriter(&wire, "alloc", uint8(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < batches; b++ {
+				for i := range round {
+					if err := tw.WriteEvent(round[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := tw.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := trace.NewReader(bytes.NewReader(wire.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			srv := &Server{cfg: Config{Logf: func(string, ...any) {}}.withDefaults()}
+			ss := newSession(srv, "alloc", mode)
+			ss.shutdownExecutor() // run its loop inline instead
+			defer ss.closeEngine()
+			c := &conn{srv: srv, wsig: make(chan struct{}, 1), done: make(chan struct{})}
+			c.free = make(chan *batch, 1)
+			c.free <- &batch{c: c, events: make([]trace.Event, eventsPerBatch)}
+
+			run := func() {
+				// Read loop half: decode one batch and enqueue it.
+				b := <-c.free
+				b.n = 0
+				for b.n < len(b.events) {
+					if err := tr.NextInto(&b.events[b.n]); err != nil {
+						t.Fatalf("decode: %v", err)
+					}
+					b.n++
+				}
+				ss.enqueue(b)
+				// Executor half: pop and process until drained.
+				for {
+					bb := ss.q.pop()
+					if bb == nil {
+						break
+					}
+					ss.process(bb)
+				}
+				// Writer half: reclaim the coalesce buffer like a flush.
+				c.wmu.Lock()
+				c.wbuf = c.wbuf[:0]
+				c.wcount = 0
+				c.wmu.Unlock()
+				select {
+				case <-c.wsig:
+				default:
+				}
+			}
+			run()
+			run() // warm the pools, maps, scratch and both buffers
+			if n := testing.AllocsPerRun(50, run); n != 0 {
+				t.Fatalf("executor ingest path allocates %.1f allocs per batch, want 0", n)
+			}
+		})
+	}
+}
+
+// TestExecutorDrainMidQueue (chaos): stop arrives while batches are still
+// queued — the executor's drain must process every one of them, in order,
+// before exiting; none may be dropped on the floor.
+func TestExecutorDrainMidQueue(t *testing.T) {
+	srv := &Server{cfg: Config{Logf: func(string, ...any) {}}.withDefaults()}
+	ss := newSession(srv, "drain", core.ModeDetect)
+	c := &conn{srv: srv, wsig: make(chan struct{}, 1), done: make(chan struct{})}
+	const batches = 16
+	for i := 0; i < batches; i++ {
+		ss.enqueue(&batch{c: c, n: 1,
+			events: []trace.Event{{Kind: trace.KindVerdict, Verdict: trace.VerdictReported}}})
+	}
+	// Depending on scheduling the executor is anywhere in the queue when
+	// stop lands; either way every batch must be applied at exit.
+	ss.shutdownExecutor()
+	ss.closeEngine()
+	if got := c.applied.Load(); got != batches {
+		t.Fatalf("executor exited with %d of %d batches applied", got, batches)
+	}
+	// Every checkpoint got its response, in submission order.
+	br := bufio.NewReader(bytes.NewReader(c.wbuf))
+	var r proto.Response
+	for i := 1; i <= batches; i++ {
+		if err := proto.ReadResponse(br, &r); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if r.Kind != proto.RespVerdict || r.Seq != uint64(i) {
+			t.Fatalf("response %d: kind=%v seq=%d, want verdict seq %d", i, r.Kind, r.Seq, i)
+		}
+	}
+}
+
+// TestStalledConsumerCoalesceBacklog (chaos): the peer stops reading while
+// the writer is stuck mid-flush, so responses pile into the fresh
+// coalesce buffer. Crossing the response-count bound must disconnect the
+// peer exactly once, drop later sends, and never deliver the backlog.
+func TestStalledConsumerCoalesceBacklog(t *testing.T) {
+	srv := &Server{cfg: Config{QueueLen: 4, Logf: func(string, ...any) {}}.withDefaults()}
+	p1, p2 := net.Pipe()
+	defer p2.Close()
+	c := &conn{srv: srv, nc: p1,
+		wsig: make(chan struct{}, 1), done: make(chan struct{}), writerDone: make(chan struct{})}
+	go c.writeLoop()
+	// First response: the writer swaps it out and blocks inside Write
+	// (net.Pipe is unbuffered and the peer never reads).
+	if !c.send(proto.Response{Kind: proto.RespVerdict, Seq: 1}) {
+		t.Fatal("first send dropped")
+	}
+	waitFor(t, func() bool { return c.queueDepth() == 0 })
+	// Now the pile-up: QueueLen is 4, so the fifth undelivered response
+	// crosses the bound with a non-empty coalesce buffer behind it.
+	dropped := 0
+	for i := 0; i < 6; i++ {
+		if !c.send(proto.Response{Kind: proto.RespVerdict, Seq: uint64(i + 2)}) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no send was refused despite the backlog")
+	}
+	if got := srv.m.SlowDisconnects.Load(); got != 1 {
+		t.Fatalf("slow disconnects = %d, want exactly 1", got)
+	}
+	if c.send(proto.Response{Kind: proto.RespVerdict, Seq: 99}) {
+		t.Fatal("send after slow disconnect not dropped")
+	}
+	if got := srv.m.SlowDisconnects.Load(); got != 1 {
+		t.Fatalf("slow disconnect double-counted: %d", got)
+	}
+	// The backlog was never delivered: the peer sees the close, no data.
+	p2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if n, err := p2.Read(make([]byte, 256)); err == nil {
+		t.Fatalf("stalled peer received %d bytes; expected only the disconnect", n)
+	}
+	// The writer exits instead of wedging on the dead socket.
+	close(c.done)
+	select {
+	case <-c.writerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer wedged after slow disconnect")
+	}
+}
+
+// TestCrashGCResumeExecutorLifecycle (chaos, on clock.Fake): a client
+// crash leaves the session's executor alive and parked; a reconnect
+// within the lease is served by the SAME executor; after the lease the
+// janitor stops it, and a fresh attach spawns a new one.
+func TestCrashGCResumeExecutorLifecycle(t *testing.T) {
+	fc := clock.NewFake()
+	s := testServer(t, Config{Lease: 2 * time.Second, SweepPeriod: time.Second, Clock: fc})
+
+	gateRoundTrip := func(nc net.Conn, tw *trace.Writer, br *bufio.Reader, task int64) {
+		t.Helper()
+		if err := tw.WriteEvent(trace.Event{Kind: trace.KindBlock,
+			Status: status(task, []deps.Resource{res(task, 1)}, []deps.Reg{reg(task, 1)})}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var r proto.Response
+		if err := proto.ReadResponse(br, &r); err != nil {
+			t.Fatalf("gate response: %v", err)
+		}
+		if r.Kind != proto.RespGate || !r.Allowed {
+			t.Fatalf("gate response = %+v, want allowed", r)
+		}
+	}
+
+	nc, tw, br, resumed := rawAttach(t, s, "lifecycle", core.ModeAvoid)
+	if resumed {
+		t.Fatal("fresh session reported as resumed")
+	}
+	if got := s.Metrics().ExecSpawned; got != 1 {
+		t.Fatalf("executors spawned = %d, want 1", got)
+	}
+	gateRoundTrip(nc, tw, br, 1)
+	// Idle executor parks (it may park and re-wake per batch; at least
+	// one park episode must be visible).
+	waitFor(t, func() bool { return s.Metrics().ExecParks >= 1 })
+
+	// Crash. The connection goes; session and executor stay.
+	nc.Close()
+	waitFor(t, func() bool { return s.Metrics().ConnsOpen == 0 })
+	fc.Tick() // idle 1 of 2
+
+	// Reconnect inside the lease: same session, same executor, and it
+	// still serves gate decisions.
+	nc2, tw2, br2, resumed := rawAttach(t, s, "lifecycle", core.ModeAvoid)
+	if !resumed {
+		t.Fatal("reconnect within lease did not resume")
+	}
+	if got := s.Metrics().ExecSpawned; got != 1 {
+		t.Fatalf("resume spawned a second executor (%d)", got)
+	}
+	gateRoundTrip(nc2, tw2, br2, 2)
+
+	// Crash again and let the lease run out: the janitor stops the
+	// executor and collects the session.
+	nc2.Close()
+	waitFor(t, func() bool { return s.Metrics().ConnsOpen == 0 })
+	for i := 0; i < 10 && s.Metrics().SessionsGCed == 0; i++ {
+		fc.Tick()
+	}
+	if m := s.Metrics(); m.SessionsGCed != 1 || m.SessionsOpen != 0 {
+		t.Fatalf("session not collected after lease: %+v", m)
+	}
+
+	// A fresh attach is a new session with a new executor, fully live.
+	nc3, tw3, br3, resumed := rawAttach(t, s, "lifecycle", core.ModeAvoid)
+	if resumed {
+		t.Fatal("attach after GC resumed a collected session")
+	}
+	if got := s.Metrics().ExecSpawned; got != 2 {
+		t.Fatalf("executors spawned = %d after GC + re-attach, want 2", got)
+	}
+	gateRoundTrip(nc3, tw3, br3, 3)
+	nc3.Close()
+}
+
+// TestConcurrentSessionsParity is the wall the ISSUE asks for: 64
+// concurrent sessions (half avoidance, half detection) replay the corpus
+// against one server, every one asserting decision-for-decision parity
+// with the in-process machinery — the avoidance mirror gate block for
+// block, the detect pipeline verdict for verdict. Run under -race in CI,
+// this is the correctness case for single-writer executors: many
+// executors live at once, each fed by concurrent producers.
+func TestConcurrentSessionsParity(t *testing.T) {
+	s := testServer(t, Config{})
+	corpus := corpusTraces(t)
+	names := make([]string, 0, len(corpus))
+	for name := range corpus {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	expected := make(map[string][]bool, len(names))
+	for _, name := range names {
+		exp, err := replay.ReplayTrace(corpus[name], replay.Detect, replay.Options{})
+		if err != nil {
+			t.Fatalf("%s: in-process replay: %v", name, err)
+		}
+		expected[name] = exp.Verdicts
+	}
+
+	const sessions = 64
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := names[i%len(names)]
+			tr := corpus[name]
+			mode := core.ModeAvoid
+			opts := client.ReplayOptions{CheckEvery: 4}
+			if i%2 == 1 {
+				mode = core.ModeDetect
+				opts.Expected = expected[name]
+			}
+			c, err := client.Dial(client.Config{
+				Addr:    s.Addr(),
+				Session: fmt.Sprintf("wall-%d", i),
+				Mode:    mode,
+			})
+			if err != nil {
+				errCh <- fmt.Errorf("session %d (%s): dial: %w", i, name, err)
+				return
+			}
+			defer c.Close()
+			if _, err := client.ReplayTrace(c, tr, opts); err != nil {
+				errCh <- fmt.Errorf("session %d (%s, %v): %w", i, name, mode, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.SlowDisconnects != 0 || m.MalformedConns != 0 {
+		t.Fatalf("parity wall tripped failure paths: %+v", m)
+	}
+	if m.ExecSpawned < sessions {
+		t.Fatalf("executors spawned = %d, want >= %d", m.ExecSpawned, sessions)
+	}
+	if m.Batches < int64(sessions) {
+		t.Fatalf("batches = %d, want >= %d", m.Batches, sessions)
+	}
+}

@@ -135,24 +135,29 @@ func TestMalformedFrameRejected(t *testing.T) {
 	}
 }
 
-// TestSlowConsumerDisconnect: a connection that stops draining its
-// response queue is disconnected the moment the bounded queue overflows —
-// queue memory stays bounded no matter how slow the peer.
+// TestSlowConsumerDisconnect: a connection that stops draining its read
+// side while responses accumulate in the coalesce buffer is disconnected
+// the moment the response-count bound is exceeded — buffer memory stays
+// bounded no matter how slow the peer.
 func TestSlowConsumerDisconnect(t *testing.T) {
 	srv := &Server{cfg: Config{QueueLen: 4, Logf: func(string, ...any) {}}.withDefaults()}
-	srv.cfg.QueueLen = 4
 	ss := newSession(srv, "slow", core.ModeDetect)
-	defer ss.closeEngine()
+	defer func() {
+		ss.shutdownExecutor()
+		ss.closeEngine()
+	}()
 	p1, p2 := net.Pipe()
 	defer p2.Close()
-	// No writeLoop: the queue never drains, like a peer that stopped
-	// reading while checkpoint verdicts pile up.
-	c := &conn{srv: srv, nc: p1, out: make(chan proto.Response, srv.cfg.QueueLen)}
-	batch := make([]trace.Event, 0, 8)
-	for i := 0; i < 8; i++ {
-		batch = append(batch, trace.Event{Kind: trace.KindVerdict, Verdict: trace.VerdictReported})
+	// No writeLoop: the coalesce buffer never drains, like a peer that
+	// stopped reading while checkpoint verdicts pile up.
+	c := &conn{srv: srv, nc: p1,
+		wsig: make(chan struct{}, 1), done: make(chan struct{})}
+	b := &batch{c: c, events: make([]trace.Event, 8), n: 8}
+	for i := range b.events {
+		b.events[i] = trace.Event{Kind: trace.KindVerdict, Verdict: trace.VerdictReported}
 	}
-	ss.apply(c, batch)
+	ss.enqueue(b)
+	waitFor(t, func() bool { return c.applied.Load() >= 1 })
 	if got := srv.m.SlowDisconnects.Load(); got != 1 {
 		t.Fatalf("slow disconnects = %d, want 1", got)
 	}
@@ -165,7 +170,9 @@ func TestSlowConsumerDisconnect(t *testing.T) {
 		}
 	}
 	// Later sends are dropped without a second disconnect.
-	ss.apply(c, batch[:1])
+	b2 := &batch{c: c, events: []trace.Event{{Kind: trace.KindVerdict, Verdict: trace.VerdictReported}}, n: 1}
+	ss.enqueue(b2)
+	waitFor(t, func() bool { return c.applied.Load() >= 2 })
 	if got := srv.m.SlowDisconnects.Load(); got != 1 {
 		t.Fatalf("slow disconnect double-counted: %d", got)
 	}

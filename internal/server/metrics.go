@@ -6,6 +6,15 @@ import (
 	"sync/atomic"
 )
 
+// batchBucketBounds are the upper bounds (inclusive, in events) of the
+// executor batch-size histogram; a final implicit +Inf bucket catches the
+// rest. Log2 spacing: batch size doubles as ingest outruns the executor,
+// so the histogram is a direct read on how much coalescing the MPSC queue
+// is buying.
+var batchBucketBounds = [...]int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+const batchBucketCount = len(batchBucketBounds) + 1 // + the +Inf bucket
+
 // Metrics are the server's atomic operational counters. They back the
 // Prometheus-text /metrics endpoint and the loadgen/CI assertions; all hot
 // paths touch them with lock-free atomic adds only.
@@ -18,14 +27,31 @@ type Metrics struct {
 	ConnsTotal atomic.Int64 // counter: connections ever accepted
 
 	Events       atomic.Int64 // counter: verifier events ingested
-	Batches      atomic.Int64 // counter: apply batches
+	Batches      atomic.Int64 // counter: executor batches processed
 	GateAllowed  atomic.Int64 // counter: avoidance blocks admitted
 	GateRejected atomic.Int64 // counter: avoidance blocks refused (verdicts)
 	Checkpoints  atomic.Int64 // counter: verdict checkpoints answered
 	Reports      atomic.Int64 // counter: deadlock reports pushed
 
+	ExecSpawned atomic.Int64 // counter: session executors spawned
+	ExecParks   atomic.Int64 // counter: executor park episodes (idle waits)
+
 	MalformedConns  atomic.Int64 // counter: connections dropped for bad framing
-	SlowDisconnects atomic.Int64 // counter: connections dropped for a full queue
+	SlowDisconnects atomic.Int64 // counter: connections dropped for a full coalesce buffer
+
+	// The executor batch-size histogram (events per processed batch).
+	batchBuckets [batchBucketCount]atomic.Int64
+	batchSum     atomic.Int64
+}
+
+// observeBatch records one processed batch of n events.
+func (m *Metrics) observeBatch(n int) {
+	i := 0
+	for i < len(batchBucketBounds) && int64(n) > batchBucketBounds[i] {
+		i++
+	}
+	m.batchBuckets[i].Add(1)
+	m.batchSum.Add(int64(n))
 }
 
 // MetricsSnapshot is a point-in-time copy, for tests and /healthz.
@@ -35,12 +61,21 @@ type MetricsSnapshot struct {
 	Events, Batches                           int64
 	GateAllowed, GateRejected                 int64
 	Checkpoints, Reports                      int64
+	ExecSpawned, ExecParks                    int64
 	MalformedConns, SlowDisconnects           int64
-	QueueDepth                                int64
+	// QueueDepth is the summed egress backlog (undelivered responses)
+	// over live connections; ExecQueueDepth is the summed executor ingest
+	// backlog (queued batches) over open sessions.
+	QueueDepth     int64
+	ExecQueueDepth int64
+	// BatchBuckets/BatchSum snapshot the batch-size histogram
+	// (per-bucket counts, not cumulative; last bucket is +Inf).
+	BatchBuckets [batchBucketCount]int64
+	BatchSum     int64
 }
 
-// Metrics returns a snapshot of the counters plus the summed egress
-// backlog over the live connections.
+// Metrics returns a snapshot of the counters plus the summed egress and
+// executor backlogs.
 func (s *Server) Metrics() MetricsSnapshot {
 	snap := MetricsSnapshot{
 		SessionsOpen:    s.m.SessionsOpen.Load(),
@@ -54,14 +89,28 @@ func (s *Server) Metrics() MetricsSnapshot {
 		GateRejected:    s.m.GateRejected.Load(),
 		Checkpoints:     s.m.Checkpoints.Load(),
 		Reports:         s.m.Reports.Load(),
+		ExecSpawned:     s.m.ExecSpawned.Load(),
+		ExecParks:       s.m.ExecParks.Load(),
 		MalformedConns:  s.m.MalformedConns.Load(),
 		SlowDisconnects: s.m.SlowDisconnects.Load(),
+		BatchSum:        s.m.batchSum.Load(),
+	}
+	for i := range s.m.batchBuckets {
+		snap.BatchBuckets[i] = s.m.batchBuckets[i].Load()
 	}
 	s.mu.Lock()
 	for c := range s.conns {
 		snap.QueueDepth += int64(c.queueDepth())
 	}
 	s.mu.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, ss := range sh.m {
+			snap.ExecQueueDepth += ss.q.depth.Load()
+		}
+		sh.mu.Unlock()
+	}
 	return snap
 }
 
@@ -96,17 +145,33 @@ func (s *Server) Handler() http.Handler {
 			{"armus_serve_conns_open", "gauge", "Live client connections.", snap.ConnsOpen},
 			{"armus_serve_conns_total", "counter", "Connections ever accepted.", snap.ConnsTotal},
 			{"armus_serve_events_total", "counter", "Verifier events ingested.", snap.Events},
-			{"armus_serve_batches_total", "counter", "Apply batches executed.", snap.Batches},
+			{"armus_serve_batches_total", "counter", "Executor batches processed.", snap.Batches},
 			{"armus_serve_gate_allowed_total", "counter", "Avoidance blocks admitted.", snap.GateAllowed},
 			{"armus_serve_gate_rejected_total", "counter", "Avoidance blocks refused (deadlock would close).", snap.GateRejected},
 			{"armus_serve_checkpoints_total", "counter", "Verdict checkpoints answered.", snap.Checkpoints},
 			{"armus_serve_reports_total", "counter", "Deadlock reports pushed to subscribers.", snap.Reports},
+			{"armus_serve_exec_spawned_total", "counter", "Session executor goroutines spawned.", snap.ExecSpawned},
+			{"armus_serve_exec_parks_total", "counter", "Executor park episodes (idle waits).", snap.ExecParks},
 			{"armus_serve_malformed_conns_total", "counter", "Connections dropped for violating the trace framing.", snap.MalformedConns},
-			{"armus_serve_slow_disconnects_total", "counter", "Connections dropped for an overflowing egress queue.", snap.SlowDisconnects},
-			{"armus_serve_queue_depth", "gauge", "Summed egress backlog over live connections.", snap.QueueDepth},
+			{"armus_serve_slow_disconnects_total", "counter", "Connections dropped for an overflowing coalesce buffer.", snap.SlowDisconnects},
+			{"armus_serve_queue_depth", "gauge", "Summed undelivered responses over live connections.", snap.QueueDepth},
+			{"armus_serve_exec_queue_depth", "gauge", "Summed queued executor batches over open sessions.", snap.ExecQueueDepth},
 		} {
 			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.v)
 		}
+		// The batch-size histogram, in Prometheus histogram convention
+		// (cumulative buckets).
+		const hname = "armus_serve_exec_batch_events"
+		fmt.Fprintf(w, "# HELP %s Events per processed executor batch.\n# TYPE %s histogram\n", hname, hname)
+		cum := int64(0)
+		for i, bound := range batchBucketBounds {
+			cum += snap.BatchBuckets[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", hname, bound, cum)
+		}
+		cum += snap.BatchBuckets[batchBucketCount-1]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", hname, cum)
+		fmt.Fprintf(w, "%s_sum %d\n", hname, snap.BatchSum)
+		fmt.Fprintf(w, "%s_count %d\n", hname, cum)
 	})
 	return mux
 }

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"armus/internal/deps"
+	"armus/internal/trace"
+)
+
+// TestMPSCInterleavedReuse walks the queue through the states a session
+// actually sees — empty, one node, drained, node recycled and re-pushed —
+// including the stub re-insertion path pop takes to detach the last node.
+func TestMPSCInterleavedReuse(t *testing.T) {
+	var q mpsc
+	q.init()
+	if q.pop() != nil {
+		t.Fatal("pop on empty queue returned a batch")
+	}
+	b := &batch{events: make([]trace.Event, 1)}
+	for round := 0; round < 100; round++ {
+		b.events[0].Task = deps.TaskID(round)
+		q.push(b) // same node every round: pop must fully detach it
+		if d := q.depth.Load(); d != 1 {
+			t.Fatalf("round %d: depth = %d, want 1", round, d)
+		}
+		got := q.pop()
+		if got == nil {
+			t.Fatalf("round %d: pop returned nil with one node queued", round)
+		}
+		if got.events[0].Task != deps.TaskID(round) {
+			t.Fatalf("round %d: popped stale node (task %d)", round, got.events[0].Task)
+		}
+		if q.pop() != nil {
+			t.Fatalf("round %d: drained queue popped a second node", round)
+		}
+		if d := q.depth.Load(); d != 0 {
+			t.Fatalf("round %d: depth = %d after drain, want 0", round, d)
+		}
+	}
+	// FIFO across more nodes than the consumer cursor has seen.
+	nodes := make([]*batch, 5)
+	for i := range nodes {
+		nodes[i] = &batch{events: make([]trace.Event, 1)}
+		nodes[i].events[0].Task = deps.TaskID(i)
+		q.push(nodes[i])
+	}
+	for i := range nodes {
+		got := q.pop()
+		if got == nil || got.events[0].Task != deps.TaskID(i) {
+			t.Fatalf("FIFO violated at %d: %+v", i, got)
+		}
+	}
+}
+
+// TestMPSCSixteenProducers hammers the queue with 16 producers that
+// recycle their nodes through small per-producer free rings — exactly the
+// shape of 16 connection read loops feeding one session executor. The
+// consumer asserts per-producer FIFO (the only ordering the queue
+// promises) and that every pushed batch comes out exactly once. Run under
+// -race this is the memory-model check for push/pop/recycle.
+func TestMPSCSixteenProducers(t *testing.T) {
+	const (
+		producers   = 16
+		perProducer = 500
+		ring        = batchesPerConn
+	)
+	var q mpsc
+	q.init()
+	conns := make([]*conn, producers)
+	for i := range conns {
+		conns[i] = &conn{free: make(chan *batch, ring)}
+		for j := 0; j < ring; j++ {
+			conns[i].free <- &batch{c: conns[i], events: make([]trace.Event, 1)}
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for seq := 0; seq < perProducer; seq++ {
+				b := <-conns[i].free // backpressure, like a read loop
+				b.events[0].Task = deps.TaskID(seq)
+				b.n = 1
+				q.push(b)
+			}
+		}(i)
+	}
+	next := make(map[*conn]deps.TaskID, producers)
+	for got := 0; got < producers*perProducer; {
+		b := q.pop()
+		if b == nil {
+			runtime.Gosched() // empty or a producer mid-push; re-poll
+			continue
+		}
+		if want := next[b.c]; b.events[0].Task != want {
+			t.Fatalf("per-producer FIFO violated: got seq %d, want %d", b.events[0].Task, want)
+		}
+		next[b.c]++
+		got++
+		b.c.free <- b // recycle to the owner's ring (never blocks)
+	}
+	wg.Wait()
+	if b := q.pop(); b != nil {
+		t.Fatalf("queue not empty after consuming everything: %+v", b)
+	}
+	if d := q.depth.Load(); d != 0 {
+		t.Fatalf("depth = %d after full drain, want 0", d)
+	}
+	for _, c := range conns {
+		if len(c.free) != ring {
+			t.Fatalf("free ring leaked batches: %d of %d", len(c.free), ring)
+		}
+	}
+}

@@ -26,12 +26,16 @@
 //     once warm) or detection mode (mutations apply unconditionally, an
 //     observe-mode core.Verifier answers CheckNow per batch, and
 //     deadlock transitions are pushed to subscribed connections).
-//   - Per-connection read loops decode events with trace.Reader.NextInto
-//     into a reused batch and apply the batch under the session lock.
-//     Ingress backpressure is the TCP window: a session that cannot keep
-//     up stops reading and the kernel stops the sender. Egress queues
-//     (gate decisions, verdicts, reports) are bounded channels: a
-//     connection that does not drain its queue is disconnected
+//   - Each session owns ONE EXECUTOR goroutine (executor.go): the single
+//     writer of its verifier state, fed by a lock-free MPSC queue
+//     (mpsc.go) of decoded batches. Per-connection read loops only decode
+//     (trace.Reader.NextInto into recycled batches) and enqueue — no lock
+//     anywhere on the gate hot path. Ingress backpressure is the TCP
+//     window: a connection's batch ring running empty stops its read loop
+//     and the kernel stops the sender. Egress is a per-connection
+//     coalesce buffer flushed by a writer goroutine in single Write calls
+//     (many responses per syscall), bounded by response count: a
+//     connection that does not drain its read side is disconnected
 //     (slow-consumer policy) rather than buffered without bound.
 //   - Sessions whose last connection has gone survive for a lease (so a
 //     crashed client can reconnect and resume), then a janitor driven by
@@ -61,11 +65,12 @@ import (
 type Config struct {
 	// Addr is the TCP listen address, e.g. "127.0.0.1:7777" or ":0".
 	Addr string
-	// MaxBatch is the most events one read loop applies per session-lock
-	// acquisition (default 256).
+	// MaxBatch is the most events one read loop decodes into a batch
+	// before handing it to the session executor (default 256).
 	MaxBatch int
-	// QueueLen is the per-connection outbound response queue bound
-	// (default 256); a connection whose queue overflows is disconnected.
+	// QueueLen bounds a connection's undelivered responses (the coalesce
+	// buffer, counted in responses; default 256); a connection exceeding
+	// it is disconnected as a slow consumer.
 	QueueLen int
 	// Lease is how long a session with no attached connections survives
 	// before the janitor collects it (default 30s).
@@ -264,6 +269,10 @@ func (s *Server) sweep() {
 			ss.mu.Unlock()
 			if expired {
 				delete(sh.m, name)
+				// No connection is attached and attach is excluded by the
+				// shard lock, so no producer can push: the executor drains
+				// whatever is queued and exits.
+				ss.shutdownExecutor()
 				ss.closeEngine()
 				s.m.SessionsOpen.Add(-1)
 				s.m.SessionsGCed.Add(1)
@@ -336,11 +345,14 @@ func (s *Server) Close() {
 	close(s.sweepStop)
 	<-s.sweepDone
 	s.wg.Wait()
+	// Every read loop has exited (wg), so no producer survives: stop the
+	// executors (each drains its queue first), then release the engines.
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for name, ss := range sh.m {
 			delete(sh.m, name)
+			ss.shutdownExecutor()
 			ss.closeEngine()
 			s.m.SessionsOpen.Add(-1)
 		}

@@ -14,7 +14,6 @@ import (
 	"armus/internal/client"
 	"armus/internal/core"
 	"armus/internal/deps"
-	"armus/internal/server/proto"
 	"armus/internal/trace"
 	"armus/internal/trace/replay"
 )
@@ -288,49 +287,10 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 }
 
-// TestIngestHotPathZeroAlloc guards the acceptance criterion: applying a
-// decoded event batch — gate query, state mutation, checkpoint verdict,
-// response enqueue — allocates nothing once warm, in both session modes.
-func TestIngestHotPathZeroAlloc(t *testing.T) {
-	for _, mode := range []core.Mode{core.ModeAvoid, core.ModeDetect} {
-		t.Run(mode.String(), func(t *testing.T) {
-			srv := &Server{cfg: Config{Logf: func(string, ...any) {}}.withDefaults()}
-			ss := newSession(srv, "alloc", mode)
-			defer ss.closeEngine()
-			c := &conn{srv: srv, out: make(chan proto.Response, 4096)}
-			// A steady round: 64 tasks block (each arrived at its phaser,
-			// so the gate prefilter answers without a graph walk), one
-			// checkpoint, then everyone unblocks. Deadlock-free, so only
-			// the hot path runs.
-			const tasks = 64
-			var batch []trace.Event
-			for i := 1; i <= tasks; i++ {
-				q := int64(i%8 + 1)
-				batch = append(batch, trace.Event{Kind: trace.KindBlock, Task: deps.TaskID(i),
-					Status: status(int64(i), []deps.Resource{res(q, 1)}, []deps.Reg{reg(q, 1)})})
-			}
-			batch = append(batch, trace.Event{Kind: trace.KindVerdict, Verdict: trace.VerdictReported})
-			for i := 1; i <= tasks; i++ {
-				batch = append(batch, trace.Event{Kind: trace.KindUnblock, Task: deps.TaskID(i)})
-			}
-			drain := func() {
-				for {
-					select {
-					case <-c.out:
-					default:
-						return
-					}
-				}
-			}
-			run := func() { ss.apply(c, batch); drain() }
-			run()
-			run() // warm the pools, maps and scratch
-			if n := testing.AllocsPerRun(50, run); n != 0 {
-				t.Fatalf("ingest hot path allocates %.1f allocs per batch, want 0", n)
-			}
-		})
-	}
-}
+// The zero-allocation guard for the ingest hot path lives in
+// executor_test.go (TestExecutorPathZeroAlloc): it covers the full
+// decode -> MPSC enqueue -> executor mutate+gate -> coalesced response
+// path of the executor architecture.
 
 func httpGet(t *testing.T, url string, wantCode int) string {
 	t.Helper()

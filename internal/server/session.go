@@ -2,53 +2,68 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"armus/internal/core"
 	"armus/internal/deps"
-	"armus/internal/server/proto"
-	"armus/internal/trace"
 )
 
 // session is one tenant: a named verifier state shared by every
-// connection that attached under its name. The engine mirrors the replay
-// pipelines (internal/trace/replay) on purpose — verdicts served over the
-// wire are the verdicts an in-process replay of the same event stream
-// computes, which is what the loadgen parity check asserts.
+// connection that attached under its name, mutated exclusively by the
+// session's executor goroutine (executor.go). The engine mirrors the
+// replay pipelines (internal/trace/replay) on purpose — verdicts served
+// over the wire are the verdicts an in-process replay of the same event
+// stream computes, which is what the loadgen parity check asserts.
 type session struct {
 	srv  *Server
 	name string
 	mode core.Mode
 
-	// mu serialises applies and owns everything below. Batching keeps the
-	// lock acquisition rate low; the work under it is the allocation-free
-	// hot path.
+	// mu owns the connection set and the janitor bookkeeping only. The
+	// verifier engine below is single-writer: the executor goroutine owns
+	// it outright, so the ingest hot path takes no lock at all.
 	mu    sync.Mutex
 	conns map[*conn]struct{}
 	// idleTicks counts janitor sweeps with no attached connection; the
 	// lease is idleTicks * SweepPeriod.
 	idleTicks int
 
+	// q feeds the executor: read loops push decoded batches, the executor
+	// pops and applies them. execState/wake implement parking (see
+	// enqueue and runExecutor); stop/execDone bound the lifecycle.
+	q         mpsc
+	execState atomic.Int32
+	wake      chan struct{}
+	stop      chan struct{}
+	stopOnce  sync.Once
+	execDone  chan struct{}
+
 	// Avoidance engine: the sharded incremental state plus the targeted
 	// gate query's scratch, exactly the machinery of the in-process
 	// avoidance gate. blocked tracks the currently blocked tasks for the
-	// checkpoint verdict (any blocked task on a cycle).
+	// checkpoint verdict (any blocked task on a cycle). Executor-owned.
 	st      *deps.State
 	sc      deps.CycleScratch
 	blocked map[deps.TaskID]struct{}
 
 	// Detection engine: an observe-mode verifier; st aliases its state.
 	// CheckNow is version-cached, so checking once per batch is cheap.
+	// Executor-owned.
 	ver           *core.Verifier
 	wasDeadlocked bool
 }
 
 func newSession(s *Server, name string, mode core.Mode) *session {
 	ss := &session{
-		srv:   s,
-		name:  name,
-		mode:  mode,
-		conns: make(map[*conn]struct{}),
+		srv:      s,
+		name:     name,
+		mode:     mode,
+		conns:    make(map[*conn]struct{}),
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		execDone: make(chan struct{}),
 	}
+	ss.q.init()
 	if mode == core.ModeAvoid {
 		ss.st = deps.NewState()
 		ss.blocked = make(map[deps.TaskID]struct{})
@@ -56,6 +71,8 @@ func newSession(s *Server, name string, mode core.Mode) *session {
 		ss.ver = core.New(core.WithMode(core.ModeObserve), core.WithModel(s.cfg.Model))
 		ss.st = ss.ver.State()
 	}
+	s.m.ExecSpawned.Add(1)
+	go ss.runExecutor()
 	return ss
 }
 
@@ -67,120 +84,21 @@ func (ss *session) detach(c *conn) {
 	ss.mu.Unlock()
 }
 
+// shutdownExecutor stops the executor (idempotent) and waits for it to
+// drain everything already enqueued. Callers must guarantee no producer
+// can push afterwards: the janitor calls it with zero attached
+// connections while holding the shard lock (attach is excluded), and
+// Server.Close calls it after every read loop has exited.
+func (ss *session) shutdownExecutor() {
+	ss.stopOnce.Do(func() { close(ss.stop) })
+	<-ss.execDone
+}
+
 // closeEngine releases the session's verifier. Called by the janitor (GC)
-// and by Server.Close, after the session has left the table.
+// and by Server.Close, after the session has left the table and its
+// executor has drained.
 func (ss *session) closeEngine() {
 	if ss.ver != nil {
 		ss.ver.Close()
 	}
-}
-
-// apply is the ingest hot path: one decoded batch from one connection,
-// processed under the session lock. Steady-state (same tasks re-blocking,
-// warm pools) it performs zero heap allocations — guarded by
-// TestIngestHotPathZeroAlloc.
-func (ss *session) apply(c *conn, events []trace.Event) {
-	ss.mu.Lock()
-	for i := range events {
-		e := &events[i]
-		switch e.Kind {
-		case trace.KindBlock:
-			if ss.mode == core.ModeAvoid {
-				ss.gateLocked(c, e)
-			} else {
-				ss.st.SetBlocked(e.Status)
-			}
-		case trace.KindUnblock:
-			ss.st.Clear(e.Task)
-			if ss.blocked != nil {
-				delete(ss.blocked, e.Task)
-			}
-		case trace.KindVerdict:
-			// A client->server verdict event is a CHECKPOINT: "tell me
-			// whether the session is deadlocked right now". (Recorded
-			// traces carry verdict events too; ingesting one costs the
-			// sender an answer it may ignore.)
-			c.checkSeq++
-			ss.srv.m.Checkpoints.Add(1)
-			c.send(proto.Response{
-				Kind:       proto.RespVerdict,
-				Seq:        c.checkSeq,
-				Deadlocked: ss.verdictLocked(),
-			})
-		default:
-			// Structural events (register/arrive/drop) do not mutate the
-			// dependency state — a membership change of a blocked task is
-			// always followed by its status refresh. Same contract as the
-			// replayer.
-		}
-	}
-	if ss.mode == core.ModeDetect {
-		ss.reportLocked()
-	}
-	ss.mu.Unlock()
-	ss.srv.m.Events.Add(int64(len(events)))
-	ss.srv.m.Batches.Add(1)
-}
-
-// gateLocked is the avoidance gate, verbatim the in-process semantics:
-// tentatively insert the status, run the targeted cycle query from the
-// blocking task, roll back and refuse on a cycle. The decision goes back
-// to the submitting connection only.
-func (ss *session) gateLocked(c *conn, e *trace.Event) {
-	ss.st.SetBlocked(e.Status)
-	cyc, _ := ss.st.CycleThrough(e.Status.Task, &ss.sc)
-	if cyc == nil {
-		ss.blocked[e.Status.Task] = struct{}{}
-		ss.srv.m.GateAllowed.Add(1)
-		c.send(proto.Response{Kind: proto.RespGate, Task: e.Status.Task, Allowed: true})
-		return
-	}
-	ss.st.Clear(e.Status.Task)
-	ss.srv.m.GateRejected.Add(1)
-	// cyc is freshly allocated by the deadlock path; handing its slices
-	// to the writer is safe.
-	c.send(proto.Response{
-		Kind:      proto.RespGate,
-		Task:      e.Status.Task,
-		Allowed:   false,
-		Tasks:     cyc.Tasks,
-		Resources: cyc.Resources,
-	})
-}
-
-// verdictLocked answers "is the session state deadlocked right now" with
-// the session's engine — identical machinery to the replay pipelines.
-func (ss *session) verdictLocked() bool {
-	if ss.mode == core.ModeAvoid {
-		for t := range ss.blocked {
-			if cyc, _ := ss.st.CycleThrough(t, &ss.sc); cyc != nil {
-				return true
-			}
-		}
-		return false
-	}
-	return ss.ver.CheckNow() != nil
-}
-
-// reportLocked pushes a deadlock report to every subscribed connection of
-// the session when the state transitions into a deadlock. CheckNow is
-// version-cached, so the steady (non-deadlocked, unchanged) case costs a
-// version compare.
-func (ss *session) reportLocked() {
-	derr := ss.ver.CheckNow()
-	d := derr != nil
-	if d && !ss.wasDeadlocked {
-		ss.srv.m.Reports.Add(1)
-		ss.srv.cfg.Logf("armus-serve: session %q deadlocked: %v", ss.name, derr)
-		for c := range ss.conns {
-			if c.subscribe {
-				c.send(proto.Response{
-					Kind:      proto.RespReport,
-					Tasks:     derr.Cycle.Tasks,
-					Resources: derr.Cycle.Resources,
-				})
-			}
-		}
-	}
-	ss.wasDeadlocked = d
 }
