@@ -27,8 +27,15 @@ import (
 //     (latSlackMicros, which keeps single-digit-µs baselines from tripping
 //     on scheduler jitter) catches an order-of-magnitude regression — a
 //     contended lock back on the hot path — without flagging machine
-//     variance. Other absolute-time cells (throughput, wall clock) are
-//     ignored entirely.
+//     variance.
+//
+//   - Throughput cells (any column headed "Events/s") must not fall below
+//     the baseline divided by a multiplier — the lower-bound mirror of the
+//     latency rule, guarding the replay experiment's events/sec rows (the
+//     dist row in particular: the delta/pipelining work is locked in by
+//     the checked-in baseline, and losing the single-round-trip property
+//     would show up here as a multiple-times drop). Other absolute cells
+//     (wall clock, counters) are ignored entirely.
 
 // latSlackMicros is added to the scaled latency bound so tiny baselines
 // (p50 of a single uncontended client is ~10µs) don't fail on noise.
@@ -121,13 +128,40 @@ func parseMicros(s string) (float64, bool) {
 	return v, true
 }
 
+// throughputCells extracts the cells of every column headed "Events/s"
+// (plain numbers, higher is better).
+func throughputCells(results []jsonResult) map[cellKey]float64 {
+	out := map[cellKey]float64{}
+	for _, res := range results {
+		for _, t := range res.Tables {
+			for _, row := range t.Rows {
+				if len(row) == 0 {
+					continue
+				}
+				for i, cell := range row {
+					if i == 0 || i >= len(t.Header) || t.Header[i] != "Events/s" {
+						continue
+					}
+					v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+					if err != nil {
+						continue
+					}
+					out[cellKey{res.Experiment, t.Title, row[0], t.Header[i]}] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
 // compareBaseline checks current against the baseline file. It returns an
 // error when any overhead cell regressed beyond tolerancePts, when any
 // latency cell regressed beyond latMult times the baseline (plus the
-// fixed slack), when the two runs share no comparable cells (flag drift
+// fixed slack), when any throughput cell fell below the baseline divided
+// by thrMult, when the two runs share no comparable cells (flag drift
 // would otherwise turn the gate green by matching nothing), or when a
 // baseline cell disappeared.
-func compareBaseline(current []jsonResult, baselinePath string, tolerancePts, latMult float64) error {
+func compareBaseline(current []jsonResult, baselinePath string, tolerancePts, latMult, thrMult float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("bench-compare: %w", err)
@@ -166,6 +200,21 @@ func compareBaseline(current []jsonResult, baselinePath string, tolerancePts, la
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.0fµs vs baseline %.0fµs (bound %.0fµs = %.1fx + %dµs)",
 					k, c, b, bound, latMult, latSlackMicros))
+		}
+	}
+
+	baseThr, curThr := throughputCells(baseline), throughputCells(current)
+	for k, b := range baseThr {
+		c, ok := curThr[k]
+		if !ok {
+			missing = append(missing, k.String())
+			continue
+		}
+		matched++
+		if bound := b / thrMult; c < bound {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f events/s vs baseline %.0f (bound %.0f = baseline / %.1f)",
+					k, c, b, bound, thrMult))
 		}
 	}
 

@@ -63,24 +63,63 @@ func TestCompareBaselineLatencyGate(t *testing.T) {
 	base := writeBaseline(t, serveResults("3228µs"))
 
 	// Within the multiplier: fine.
-	if err := compareBaseline(serveResults("6000µs"), base, 25, 3); err != nil {
+	if err := compareBaseline(serveResults("6000µs"), base, 25, 3, 3); err != nil {
 		t.Fatalf("in-bound latency flagged: %v", err)
 	}
 	// Beyond baseline*mult+slack: the gate trips.
-	if err := compareBaseline(serveResults("12000µs"), base, 25, 3); err == nil {
+	if err := compareBaseline(serveResults("12000µs"), base, 25, 3, 3); err == nil {
 		t.Fatal("3.7x latency regression not flagged")
 	}
 	// The absolute slack keeps single-digit-µs cells from tripping on
 	// jitter: 40µs -> 130µs is under 40*3+100.
 	cur := serveResults("3228µs")
 	cur[0].Tables[0].Rows[0][3] = "130µs"
-	if err := compareBaseline(cur, base, 25, 3); err != nil {
+	if err := compareBaseline(cur, base, 25, 3, 3); err != nil {
 		t.Fatalf("jitter within slack flagged: %v", err)
 	}
 	// A vanished latency column is flag drift, not a green gate.
 	cur = serveResults("3228µs")
 	cur[0].Tables[0].Header[3] = "Gate p99.5"
-	if err := compareBaseline(cur, base, 25, 3); err == nil {
+	if err := compareBaseline(cur, base, 25, 3, 3); err == nil {
 		t.Fatal("missing baseline latency cells not flagged")
+	}
+}
+
+// replayResults builds a run shaped like the replay experiment: bare
+// Events/s numbers (unlike the serve table's "NNN/s" cells, which the
+// throughput gate deliberately ignores).
+func replayResults(distEv string) []jsonResult {
+	return []jsonResult{{
+		Experiment: "replay",
+		Tables: []*harness.Table{{
+			Title:  "Replay throughput",
+			Header: []string{"Pipeline", "Events", "Events/s", "Store RTs"},
+			Rows: [][]string{
+				{"avoid", "1338", "500000", "0"},
+				{"dist", "1338", distEv, "884"},
+			},
+		}},
+	}}
+}
+
+func TestCompareBaselineThroughputGate(t *testing.T) {
+	base := writeBaseline(t, replayResults("110000"))
+
+	// Above baseline/divisor: fine (faster is always fine).
+	if err := compareBaseline(replayResults("90000"), base, 25, 3, 3); err != nil {
+		t.Fatalf("in-bound throughput flagged: %v", err)
+	}
+	if err := compareBaseline(replayResults("250000"), base, 25, 3, 3); err != nil {
+		t.Fatalf("speedup flagged: %v", err)
+	}
+	// A multiple-times drop — the single-round-trip property lost — trips.
+	if err := compareBaseline(replayResults("20000"), base, 25, 3, 3); err == nil {
+		t.Fatal("5.5x throughput drop not flagged")
+	}
+	// A vanished Events/s cell is flag drift, not a green gate.
+	cur := replayResults("110000")
+	cur[0].Tables[0].Rows = cur[0].Tables[0].Rows[:1]
+	if err := compareBaseline(cur, base, 25, 3, 3); err == nil {
+		t.Fatal("missing baseline throughput cells not flagged")
 	}
 }

@@ -20,12 +20,16 @@
 // given (previously archived) JSON file and the process exits non-zero
 // when any cell regressed by more than -tolerance percentage points, and
 // every gate-latency cell (the serve experiment's p50/p99 columns) when it
-// exceeds -lat-tolerance times its baseline:
+// exceeds -lat-tolerance times its baseline, and every throughput cell
+// (the replay experiment's Events/s columns) when it falls below its
+// baseline divided by -thr-tolerance:
 //
 //	armus-bench -exp table2 -samples 5 -class 1 -tasks 2,4 -json \
 //	    -baseline bench_baseline.json -tolerance 30 > bench.json
 //	armus-bench -exp serve -samples 3 -json \
 //	    -baseline BENCH_2026-08-07-serve.json -lat-tolerance 3 > serve.json
+//	armus-bench -exp replay -samples 3 -class 1 -json \
+//	    -baseline BENCH_2026-08-08-dist.json -thr-tolerance 3 > replay.json
 //
 // Regenerate the baseline with the exact same experiment flags whenever an
 // intentional perf change moves the floor.
@@ -66,6 +70,7 @@ func main() {
 		baseline     = flag.String("baseline", "", "compare overhead and latency cells against this archived -json file and fail on regression")
 		tolerance    = flag.Float64("tolerance", 25, "allowed overhead regression vs -baseline, in percentage points")
 		latTolerance = flag.Float64("lat-tolerance", 3, "allowed latency regression vs -baseline, as a multiplier")
+		thrTolerance = flag.Float64("thr-tolerance", 3, "allowed throughput drop vs -baseline, as a divisor")
 	)
 	flag.Parse()
 
@@ -131,7 +136,7 @@ func main() {
 		}
 	}
 	if *baseline != "" {
-		if err := compareBaseline(results, *baseline, *tolerance, *latTolerance); err != nil {
+		if err := compareBaseline(results, *baseline, *tolerance, *latTolerance, *thrTolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "armus-bench:", err)
 			os.Exit(1)
 		}

@@ -42,27 +42,38 @@ const snapshotMagic = "ARMUSD1"
 // store's own maxBulk guard).
 const maxSnapshotItems = 1 << 20
 
-// encodeSnapshot serialises one site's blocked statuses.
-func encodeSnapshot(siteID int, seq uint64, snap []deps.Blocked) []byte {
-	buf := make([]byte, 0, len(snapshotMagic)+16+32*len(snap))
+// appendBlocked serialises one blocked status (shared by the snapshot and
+// delta encoders).
+func appendBlocked(buf []byte, b *deps.Blocked) []byte {
+	buf = binary.AppendVarint(buf, int64(b.Task))
+	buf = binary.AppendUvarint(buf, uint64(len(b.WaitsFor)))
+	for _, r := range b.WaitsFor {
+		buf = binary.AppendVarint(buf, int64(r.Phaser))
+		buf = binary.AppendVarint(buf, r.Phase)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b.Regs)))
+	for _, reg := range b.Regs {
+		buf = binary.AppendVarint(buf, int64(reg.Phaser))
+		buf = binary.AppendVarint(buf, reg.Phase)
+	}
+	return buf
+}
+
+// appendSnapshot serialises one site's blocked statuses into buf.
+func appendSnapshot(buf []byte, siteID int, seq uint64, snap []deps.Blocked) []byte {
 	buf = append(buf, snapshotMagic...)
 	buf = binary.AppendUvarint(buf, uint64(siteID))
 	buf = binary.AppendUvarint(buf, seq)
 	buf = binary.AppendUvarint(buf, uint64(len(snap)))
-	for _, b := range snap {
-		buf = binary.AppendVarint(buf, int64(b.Task))
-		buf = binary.AppendUvarint(buf, uint64(len(b.WaitsFor)))
-		for _, r := range b.WaitsFor {
-			buf = binary.AppendVarint(buf, int64(r.Phaser))
-			buf = binary.AppendVarint(buf, r.Phase)
-		}
-		buf = binary.AppendUvarint(buf, uint64(len(b.Regs)))
-		for _, reg := range b.Regs {
-			buf = binary.AppendVarint(buf, int64(reg.Phaser))
-			buf = binary.AppendVarint(buf, reg.Phase)
-		}
+	for i := range snap {
+		buf = appendBlocked(buf, &snap[i])
 	}
 	return buf
+}
+
+// encodeSnapshot serialises one site's blocked statuses.
+func encodeSnapshot(siteID int, seq uint64, snap []deps.Blocked) []byte {
+	return appendSnapshot(make([]byte, 0, len(snapshotMagic)+16+32*len(snap)), siteID, seq, snap)
 }
 
 // snapshotDecoder is a cursor over an encoded snapshot.
@@ -102,6 +113,50 @@ func (d *snapshotDecoder) length() (int, error) {
 	return int(v), nil
 }
 
+// blocked decodes one blocked status (shared by the snapshot and delta
+// decoders).
+func (d *snapshotDecoder) blocked() (deps.Blocked, error) {
+	var b deps.Blocked
+	t, err := d.varint()
+	if err != nil {
+		return b, err
+	}
+	b.Task = deps.TaskID(t)
+	nw, err := d.length()
+	if err != nil {
+		return b, err
+	}
+	b.WaitsFor = make([]deps.Resource, 0, nw)
+	for j := 0; j < nw; j++ {
+		q, err := d.varint()
+		if err != nil {
+			return b, err
+		}
+		ph, err := d.varint()
+		if err != nil {
+			return b, err
+		}
+		b.WaitsFor = append(b.WaitsFor, deps.Resource{Phaser: deps.PhaserID(q), Phase: ph})
+	}
+	nr, err := d.length()
+	if err != nil {
+		return b, err
+	}
+	b.Regs = make([]deps.Reg, 0, nr)
+	for j := 0; j < nr; j++ {
+		q, err := d.varint()
+		if err != nil {
+			return b, err
+		}
+		ph, err := d.varint()
+		if err != nil {
+			return b, err
+		}
+		b.Regs = append(b.Regs, deps.Reg{Phaser: deps.PhaserID(q), Phase: ph})
+	}
+	return b, nil
+}
+
 // decodeSnapshot parses a payload produced by encodeSnapshot. Any
 // malformation is an error: the caller drops the snapshot (counting it) so
 // one corrupt entry can never wedge a global check.
@@ -123,43 +178,9 @@ func decodeSnapshot(payload []byte) (siteID int, seq uint64, snap []deps.Blocked
 	}
 	snap = make([]deps.Blocked, 0, n)
 	for i := 0; i < n; i++ {
-		var b deps.Blocked
-		t, err := d.varint()
+		b, err := d.blocked()
 		if err != nil {
 			return 0, 0, nil, err
-		}
-		b.Task = deps.TaskID(t)
-		nw, err := d.length()
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		b.WaitsFor = make([]deps.Resource, 0, nw)
-		for j := 0; j < nw; j++ {
-			q, err := d.varint()
-			if err != nil {
-				return 0, 0, nil, err
-			}
-			ph, err := d.varint()
-			if err != nil {
-				return 0, 0, nil, err
-			}
-			b.WaitsFor = append(b.WaitsFor, deps.Resource{Phaser: deps.PhaserID(q), Phase: ph})
-		}
-		nr, err := d.length()
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		b.Regs = make([]deps.Reg, 0, nr)
-		for j := 0; j < nr; j++ {
-			q, err := d.varint()
-			if err != nil {
-				return 0, 0, nil, err
-			}
-			ph, err := d.varint()
-			if err != nil {
-				return 0, 0, nil, err
-			}
-			b.Regs = append(b.Regs, deps.Reg{Phaser: deps.PhaserID(q), Phase: ph})
 		}
 		snap = append(snap, b)
 	}
@@ -167,4 +188,215 @@ func decodeSnapshot(payload []byte) (siteID int, seq uint64, snap []deps.Blocked
 		return 0, 0, nil, fmt.Errorf("dist: %d trailing bytes after snapshot", len(d.buf))
 	}
 	return int(id), seq, snap, nil
+}
+
+// peekSnapshotSeq reads a snapshot header without decoding the body, so an
+// unchanged peer (same seq as the cached view) costs no allocation.
+func peekSnapshotSeq(payload []byte) (siteID int, seq uint64, err error) {
+	if len(payload) < len(snapshotMagic) || string(payload[:len(snapshotMagic)]) != snapshotMagic {
+		return 0, 0, fmt.Errorf("dist: bad snapshot magic")
+	}
+	d := &snapshotDecoder{buf: payload[len(snapshotMagic):]}
+	id, err := d.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if seq, err = d.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	return int(id), seq, nil
+}
+
+// --- delta format -----------------------------------------------------
+//
+// A delta is the CUMULATIVE difference between a site's published base
+// snapshot (seq baseSeq) and its current view (seq): tasks removed from
+// the base, plus upserted blocked statuses (new or changed). Each site
+// stores exactly one base field and one delta field in its hash; the
+// delta is overwritten in place every round, so there are no chains to
+// replay and any single lost write is healed by the next overwrite — the
+// same self-contained-overwrite fault-tolerance story as full snapshots.
+//
+//	magic "ARMUSI1"
+//	uvarint siteID
+//	uvarint baseSeq            (base snapshot this delta applies to)
+//	uvarint seq                (resulting view; must exceed baseSeq)
+//	uvarint len(removed)       then per task: varint TaskID, strictly ascending
+//	uvarint len(upserts)       then per Blocked (strictly ascending Task)
+
+// deltaMagic versions the delta wire format (see snapshotMagic).
+const deltaMagic = "ARMUSI1"
+
+// appendDelta serialises a cumulative delta against the base snapshot
+// into buf.
+func appendDelta(buf []byte, siteID int, baseSeq, seq uint64, removed []deps.TaskID, upserts []deps.Blocked) []byte {
+	buf = append(buf, deltaMagic...)
+	buf = binary.AppendUvarint(buf, uint64(siteID))
+	buf = binary.AppendUvarint(buf, baseSeq)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(removed)))
+	for _, t := range removed {
+		buf = binary.AppendVarint(buf, int64(t))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(upserts)))
+	for i := range upserts {
+		buf = appendBlocked(buf, &upserts[i])
+	}
+	return buf
+}
+
+// encodeDelta serialises a cumulative delta into a fresh buffer.
+func encodeDelta(siteID int, baseSeq, seq uint64, removed []deps.TaskID, upserts []deps.Blocked) []byte {
+	buf := make([]byte, 0, len(deltaMagic)+24+8*len(removed)+32*len(upserts))
+	return appendDelta(buf, siteID, baseSeq, seq, removed, upserts)
+}
+
+// decodeDelta parses a payload produced by encodeDelta, enforcing the
+// ordering invariants (strictly ascending removed tasks and upserts, seq
+// beyond baseSeq) so applyDelta stays a simple sorted merge. Any
+// malformation is an error: the caller falls back to the base snapshot.
+func decodeDelta(payload []byte) (siteID int, baseSeq, seq uint64, removed []deps.TaskID, upserts []deps.Blocked, err error) {
+	if len(payload) < len(deltaMagic) || string(payload[:len(deltaMagic)]) != deltaMagic {
+		return 0, 0, 0, nil, nil, fmt.Errorf("dist: bad delta magic")
+	}
+	d := &snapshotDecoder{buf: payload[len(deltaMagic):]}
+	id, err := d.uvarint()
+	if err != nil {
+		return 0, 0, 0, nil, nil, err
+	}
+	if baseSeq, err = d.uvarint(); err != nil {
+		return 0, 0, 0, nil, nil, err
+	}
+	if seq, err = d.uvarint(); err != nil {
+		return 0, 0, 0, nil, nil, err
+	}
+	if seq <= baseSeq {
+		return 0, 0, 0, nil, nil, fmt.Errorf("dist: delta seq %d not beyond base %d", seq, baseSeq)
+	}
+	nr, err := d.length()
+	if err != nil {
+		return 0, 0, 0, nil, nil, err
+	}
+	removed = make([]deps.TaskID, 0, nr)
+	for i := 0; i < nr; i++ {
+		t, err := d.varint()
+		if err != nil {
+			return 0, 0, 0, nil, nil, err
+		}
+		if i > 0 && deps.TaskID(t) <= removed[i-1] {
+			return 0, 0, 0, nil, nil, fmt.Errorf("dist: delta removed tasks not ascending")
+		}
+		removed = append(removed, deps.TaskID(t))
+	}
+	nu, err := d.length()
+	if err != nil {
+		return 0, 0, 0, nil, nil, err
+	}
+	upserts = make([]deps.Blocked, 0, nu)
+	for i := 0; i < nu; i++ {
+		b, err := d.blocked()
+		if err != nil {
+			return 0, 0, 0, nil, nil, err
+		}
+		if i > 0 && b.Task <= upserts[i-1].Task {
+			return 0, 0, 0, nil, nil, fmt.Errorf("dist: delta upserts not ascending")
+		}
+		upserts = append(upserts, b)
+	}
+	if len(d.buf) != 0 {
+		return 0, 0, 0, nil, nil, fmt.Errorf("dist: %d trailing bytes after delta", len(d.buf))
+	}
+	return int(id), baseSeq, seq, removed, upserts, nil
+}
+
+// peekDeltaSeqs reads a delta header without decoding the body.
+func peekDeltaSeqs(payload []byte) (siteID int, baseSeq, seq uint64, err error) {
+	if len(payload) < len(deltaMagic) || string(payload[:len(deltaMagic)]) != deltaMagic {
+		return 0, 0, 0, fmt.Errorf("dist: bad delta magic")
+	}
+	d := &snapshotDecoder{buf: payload[len(deltaMagic):]}
+	id, err := d.uvarint()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if baseSeq, err = d.uvarint(); err != nil {
+		return 0, 0, 0, err
+	}
+	if seq, err = d.uvarint(); err != nil {
+		return 0, 0, 0, err
+	}
+	return int(id), baseSeq, seq, nil
+}
+
+// blockedEqual reports whether two blocked statuses are identical.
+func blockedEqual(a, b *deps.Blocked) bool {
+	if a.Task != b.Task || len(a.WaitsFor) != len(b.WaitsFor) || len(a.Regs) != len(b.Regs) {
+		return false
+	}
+	for i := range a.WaitsFor {
+		if a.WaitsFor[i] != b.WaitsFor[i] {
+			return false
+		}
+	}
+	for i := range a.Regs {
+		if a.Regs[i] != b.Regs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffSnapshots computes the cumulative delta turning base into cur. Both
+// inputs must be sorted ascending by Task (deps.State.SnapshotInto and the
+// decoder both guarantee it). Results are appended into the caller's
+// reusable removed/upserts slices; upsert entries alias cur.
+func diffSnapshots(base, cur []deps.Blocked, removed []deps.TaskID, upserts []deps.Blocked) ([]deps.TaskID, []deps.Blocked) {
+	i, j := 0, 0
+	for i < len(base) || j < len(cur) {
+		switch {
+		case i >= len(base) || (j < len(cur) && cur[j].Task < base[i].Task):
+			upserts = append(upserts, cur[j])
+			j++
+		case j >= len(cur) || base[i].Task < cur[j].Task:
+			removed = append(removed, base[i].Task)
+			i++
+		default: // same task
+			if !blockedEqual(&base[i], &cur[j]) {
+				upserts = append(upserts, cur[j])
+			}
+			i++
+			j++
+		}
+	}
+	return removed, upserts
+}
+
+// applyDelta merges a decoded delta into a base view, appending the result
+// (sorted by Task) into dst. Entries alias base and upserts; callers must
+// treat the output as read-only. Removed tasks absent from the base are
+// ignored — the delta is cumulative, so re-applying after a base refresh
+// is harmless.
+func applyDelta(dst, base []deps.Blocked, removed []deps.TaskID, upserts []deps.Blocked) []deps.Blocked {
+	i, j, k := 0, 0, 0 // base, removed, upserts cursors
+	for i < len(base) || k < len(upserts) {
+		if k < len(upserts) && (i >= len(base) || upserts[k].Task <= base[i].Task) {
+			if i < len(base) && base[i].Task == upserts[k].Task {
+				i++
+			}
+			dst = append(dst, upserts[k])
+			k++
+			continue
+		}
+		t := base[i].Task
+		for j < len(removed) && removed[j] < t {
+			j++
+		}
+		if j < len(removed) && removed[j] == t {
+			i++
+			continue
+		}
+		dst = append(dst, base[i])
+		i++
+	}
+	return dst
 }

@@ -70,3 +70,73 @@ func FuzzSnapshotCodec(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDeltaCodec is FuzzSnapshotCodec for the cumulative-delta payloads:
+// arbitrary bytes either decode to a delta that re-encodes to the same
+// delta (encode∘decode fixpoint), or are rejected with an error — never a
+// panic. Whatever decodes must also survive applyDelta against an
+// arbitrary base slice carved from the same input, since ingest applies
+// any delta whose header matches the cached base.
+func FuzzDeltaCodec(f *testing.F) {
+	base := []deps.Blocked{
+		{Task: 1},
+		{
+			Task:     deps.TaskID(2<<SiteIDShift + 5),
+			WaitsFor: []deps.Resource{{Phaser: 2<<SiteIDShift + 1, Phase: 3}},
+			Regs:     []deps.Reg{{Phaser: 2<<SiteIDShift + 1, Phase: 3}},
+		},
+	}
+	f.Add(encodeDelta(1, 1, 2, nil, nil))
+	f.Add(encodeDelta(2, 3, 9, []deps.TaskID{1, base[1].Task}, nil))
+	f.Add(encodeDelta(3, 1, 2, []deps.TaskID{-4, 7}, base))
+	good := encodeDelta(2, 3, 9, []deps.TaskID{1}, base)
+	f.Add(good[:len(good)-2])                   // truncated
+	f.Add(append(append([]byte{}, good...), 1)) // trailing byte
+	f.Add([]byte(deltaMagic))                   // header only
+	f.Add(encodeSnapshot(1, 1, base))           // wrong magic (a full snapshot)
+	f.Add(append([]byte(deltaMagic), 1, 5, 2))  // seq <= baseSeq
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, baseSeq, seq, removed, upserts, err := decodeDelta(data)
+		if err != nil {
+			return
+		}
+		if seq <= baseSeq {
+			t.Fatalf("decoded delta with seq %d <= baseSeq %d", seq, baseSeq)
+		}
+		re := encodeDelta(id, baseSeq, seq, removed, upserts)
+		id2, baseSeq2, seq2, removed2, upserts2, err := decodeDelta(re)
+		if err != nil {
+			t.Fatalf("re-encoded delta rejected: %v", err)
+		}
+		if id2 != id || baseSeq2 != baseSeq || seq2 != seq ||
+			!sliceEqual(removed2, removed) || len(upserts2) != len(upserts) {
+			t.Fatalf("fixpoint broken: (%d,%d,%d,%d removed,%d upserts) -> (%d,%d,%d,%d removed,%d upserts)",
+				id, baseSeq, seq, len(removed), len(upserts),
+				id2, baseSeq2, seq2, len(removed2), len(upserts2))
+		}
+		for i := range upserts {
+			if upserts2[i].Task != upserts[i].Task ||
+				!sliceEqual(upserts2[i].WaitsFor, upserts[i].WaitsFor) ||
+				!sliceEqual(upserts2[i].Regs, upserts[i].Regs) {
+				t.Fatalf("fixpoint broken at upsert %d: %+v vs %+v", i, upserts[i], upserts2[i])
+			}
+		}
+		// Applying a decoded delta must never panic, and the result must
+		// respect the removals and carry every upsert.
+		out := applyDelta(nil, base, removed, upserts)
+		for i := range out {
+			for _, r := range removed {
+				isUpsert := false
+				for j := range upserts {
+					if upserts[j].Task == r {
+						isUpsert = true
+					}
+				}
+				if out[i].Task == r && !isUpsert {
+					t.Fatalf("removed task %d survived applyDelta", r)
+				}
+			}
+		}
+	})
+}

@@ -21,17 +21,35 @@
 // stale snapshot can never fabricate one, because per-site snapshots are
 // consistent).
 //
+// The round is incremental end to end. A site publishes a full base
+// snapshot into the "base" field of its store hash, then per round only a
+// cumulative delta against that base into the "delta" field (overwritten
+// in place — no chains), re-basing every K publishes or whenever the delta
+// would outgrow the full set; when the local state did not change, it
+// publishes nothing at all. Publish and fetch share one pipelined store
+// round trip: the round's writes plus a single MGETP that returns every
+// site's fields — including the site's own, which doubles as a liveness
+// echo (a restarted, empty store is detected from the same reply and
+// healed by an immediate full republish, preserving the crash-recovery
+// story above). Fetched peers are cached decoded, keyed by seq: an
+// unchanged peer costs a header peek, a changed one a delta apply, and a
+// corrupt delta falls back to that peer's base snapshot. When nothing
+// changed anywhere — no peer seq advanced, local state version identical —
+// the graph build and cycle analysis are skipped and the previous verdict
+// is returned.
+//
 // Task and phaser IDs are made globally unique by offsetting each site's
 // verifier with core.WithIDBase(siteID << SiteIDShift), so merged snapshots
 // never alias and a report names the owning site of every task.
 package dist
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"log"
-	"sort"
-	"strings"
+	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +74,11 @@ const SiteIDShift = 32
 // site overwrites only its own key and scans the prefix for everyone's.
 const keyPrefix = "armus:site:"
 
+// defaultFullEvery is how many delta publishes may ride one base snapshot
+// before the site re-bases (publishes a fresh full snapshot). It bounds
+// the cumulative delta's growth and the blast radius of a lost write.
+const defaultFullEvery = 16
+
 // ErrSiteClosed is returned by PublishOnce and CheckOnce after Close: a
 // closed site must not re-publish the snapshot Close withdrew.
 var ErrSiteClosed = errors.New("dist: site is closed")
@@ -78,6 +101,18 @@ func WithPeriod(d time.Duration) Option { return func(s *Site) { s.period = d } 
 // real time.Ticker clock). Tests pass a *clock.Fake and step rounds
 // deterministically instead of sleeping through periods.
 func WithClock(c clock.Clock) Option { return func(s *Site) { s.clock = c } }
+
+// WithFullSnapshotEvery sets how many delta publishes may ride one base
+// snapshot before the site re-publishes a full base (default 16). Lower
+// values trade publish bandwidth for faster convergence after a lost
+// write; 1 effectively disables deltas.
+func WithFullSnapshotEvery(k int) Option {
+	return func(s *Site) {
+		if k > 0 {
+			s.fullEvery = k
+		}
+	}
+}
 
 // WithVerifierTrace taps the site's local verifier with a trace recorder
 // (core.WithTraceRecorder): every local transition of this site — block,
@@ -103,10 +138,25 @@ func WithOnDeadlock(f func(*core.DeadlockError)) Option {
 	return func(s *Site) { s.onDeadlock = f }
 }
 
+// peerView is one remote site's decoded, cached contribution to the merged
+// view: the last decoded base snapshot plus the view after applying the
+// peer's current cumulative delta. Both are refreshed only when the
+// corresponding seq advances; view entries alias base/delta decode output
+// and are treated as read-only.
+type peerView struct {
+	baseSeq  uint64
+	viewSeq  uint64
+	base     []deps.Blocked
+	view     []deps.Blocked
+	applyBuf []deps.Blocked
+	seen     bool // per-round mark; unseen peers were withdrawn
+}
+
 // Site is one participant of a distributed program: it owns the process's
 // local verifier and the publish/check loop of the one-phase algorithm.
 type Site struct {
 	id     int
+	skey   string
 	model  deps.Model
 	period time.Duration
 	mode   core.Mode
@@ -117,22 +167,41 @@ type Site struct {
 	onDeadlock func(*core.DeadlockError)
 	rec        *trace.Recorder
 
-	seq   atomic.Uint64
 	stats siteStats
 
 	// pubMu serialises publishing against Close so a PublishOnce racing
 	// Close can never recreate the key Close just withdrew (the store
 	// client transparently redials, so closing it is not enough). It also
-	// owns snapBuf, the reusable snapshot buffer of the publish loop.
-	pubMu   sync.Mutex
-	snapBuf []deps.Blocked
+	// owns the publisher's state: the reusable snapshot buffer, the copy
+	// of the published base, the seq counters and the delta scratch.
+	pubMu        sync.Mutex
+	pubPipe      *store.Pipeline
+	snapBuf      []deps.Blocked
+	baseSnap     []deps.Blocked // deep copy of the published base snapshot
+	pubSeq       uint64         // seq of the current published view
+	baseSeq      uint64         // seq of the published base
+	havePub      bool           // at least one base was published
+	forceFull    bool           // next publish must re-base
+	lastVer      uint64         // deps.State version at the last publish
+	sinceFull    int            // delta publishes since the last base
+	fullEvery    int
+	removedBuf   []deps.TaskID
+	upsertBuf    []deps.Blocked
+	pubPayload   []byte
+	pubErrStreak int
 
-	// chkMu owns the check round's reusable merged-view buffer and graph
-	// builder, so the periodic global analysis does not re-allocate the
-	// local snapshot, index and graph every round.
-	chkMu   sync.Mutex
-	chkBuf  []deps.Blocked
-	builder *deps.Builder
+	// chkMu owns the check round's reusable buffers, the per-peer view
+	// cache and the graph builder, so the periodic global analysis does
+	// not re-decode unchanged peers or re-allocate the graph every round.
+	chkMu           sync.Mutex
+	chkPipe         *store.Pipeline
+	chkBuf          []deps.Blocked
+	mergedBuf       []deps.Blocked
+	builder         *deps.Builder
+	peers           map[string]*peerView
+	lastAnalysisOK  bool
+	lastAnalysisVer uint64
+	lastRep         *core.DeadlockError
 
 	mu      sync.Mutex
 	started bool
@@ -148,17 +217,22 @@ type Site struct {
 // loop is not running until Start.
 func NewSite(id int, addr string, opts ...Option) *Site {
 	s := &Site{
-		id:      id,
-		model:   deps.ModelAuto,
-		period:  DefaultPeriod,
-		mode:    core.ModeObserve,
-		clock:   clock.Real{},
-		client:  store.Dial(addr),
-		builder: deps.NewBuilder(),
+		id:        id,
+		skey:      keyPrefix + strconv.Itoa(id),
+		model:     deps.ModelAuto,
+		period:    DefaultPeriod,
+		mode:      core.ModeObserve,
+		clock:     clock.Real{},
+		client:    store.Dial(addr),
+		builder:   deps.NewBuilder(),
+		fullEvery: defaultFullEvery,
+		peers:     make(map[string]*peerView),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.pubPipe = s.client.Pipeline()
+	s.chkPipe = s.client.Pipeline()
 	if s.onDeadlock == nil {
 		s.onDeadlock = func(e *core.DeadlockError) { log.Printf("armus: site %d: %v", id, e) }
 	}
@@ -183,6 +257,10 @@ func (s *Site) ID() int { return s.id }
 // Verifier returns the site's local verifier; the application creates its
 // tasks and phasers through it.
 func (s *Site) Verifier() *core.Verifier { return s.v }
+
+// StoreStats returns the traffic counters of the site's store client (one
+// client serves both halves of the round).
+func (s *Site) StoreStats() store.ClientStats { return s.client.Stats() }
 
 // Start launches the publish/check loop. Idempotent; a closed site does
 // not restart.
@@ -226,7 +304,7 @@ func (s *Site) Close() {
 	s.v.Close()
 }
 
-func (s *Site) key() string { return fmt.Sprintf("%s%d", keyPrefix, s.id) }
+func (s *Site) key() string { return s.skey }
 
 func (s *Site) isClosed() bool {
 	s.mu.Lock()
@@ -234,134 +312,531 @@ func (s *Site) isClosed() bool {
 	return s.closed
 }
 
-// loop is the site's verification round: publish, then check, every
+// loop is the site's verification round: one pipelined publish+check every
 // period. Errors are counted, never fatal — the next round retries, which
 // together with the reconnecting client is the whole §5.2 fault-tolerance
-// story.
+// story. Publish failures are surfaced separately from check failures
+// (RoundOnce logs the former; the loop logs the latter), each once per
+// error streak so a long outage does not spam the log every period.
 func (s *Site) loop() {
 	defer close(s.done)
 	ticker := s.clock.NewTicker(s.period)
 	defer ticker.Stop()
-	var lastReported string
+	var lastReported []byte
+	var fp fpScratch
+	chkErrStreak := 0
 	for {
 		select {
 		case <-s.stop:
 			return
 		case <-ticker.C():
 		}
-		_ = s.PublishOnce() // counted; check runs regardless (local view)
-		rep, err := s.CheckOnce()
+		rep, err := s.RoundOnce()
 		if err != nil {
+			chkErrStreak++
+			if chkErrStreak == 1 {
+				log.Printf("armus: site %d: check failed (will retry next round): %v", s.id, err)
+			}
 			continue
+		}
+		if chkErrStreak > 0 {
+			log.Printf("armus: site %d: check recovered after %d failed rounds", s.id, chkErrStreak)
+			chkErrStreak = 0
 		}
 		if rep == nil {
-			lastReported = ""
+			lastReported = lastReported[:0]
 			continue
 		}
-		if fp := fingerprint(rep.Cycle); fp != lastReported {
-			lastReported = fp
+		b := appendFingerprint(&fp, rep.Cycle)
+		if !bytes.Equal(b, lastReported) {
+			lastReported = append(lastReported[:0], b...)
 			s.stats.deadlocks.Add(1)
 			s.onDeadlock(rep)
 		}
 	}
 }
 
-// fingerprint identifies a cycle by its task set, so the loop reports a
-// persisting deadlock once rather than once per period.
-func fingerprint(c *deps.Cycle) string {
-	ids := make([]int64, len(c.Tasks))
-	for i, t := range c.Tasks {
-		ids[i] = int64(t)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var b strings.Builder
-	for _, id := range ids {
-		fmt.Fprintf(&b, "%d,", id)
-	}
-	return b.String()
+// fpScratch holds the reusable buffers of appendFingerprint.
+type fpScratch struct {
+	ids []int64
+	buf []byte
 }
 
-// PublishOnce serialises the local blocked statuses and overwrites the
-// site's key in the store. One round of the publish half of the loop;
-// exported for tests and for applications that drive their own schedule.
-// Snapshots are deep copies (deps.State copies statuses on both write and
-// read), so a publish can never observe torn data from a concurrently
-// re-blocking task; the buffer is reused across rounds.
+// appendFingerprint identifies a cycle by its sorted task set, so the loop
+// reports a persisting deadlock once rather than once per period. The
+// scratch buffers are reused: a cycle that persists across rounds costs no
+// allocation per round. The returned slice aliases sc.buf and is valid
+// until the next call.
+func appendFingerprint(sc *fpScratch, c *deps.Cycle) []byte {
+	sc.ids = sc.ids[:0]
+	for _, t := range c.Tasks {
+		sc.ids = append(sc.ids, int64(t))
+	}
+	slices.Sort(sc.ids)
+	sc.buf = sc.buf[:0]
+	for _, id := range sc.ids {
+		sc.buf = strconv.AppendInt(sc.buf, id, 10)
+		sc.buf = append(sc.buf, ',')
+	}
+	return sc.buf
+}
+
+// fingerprint is the allocation-per-call string form of appendFingerprint
+// (tests compare fingerprints across cycle permutations).
+func fingerprint(c *deps.Cycle) string {
+	var sc fpScratch
+	return string(appendFingerprint(&sc, c))
+}
+
+// pubPlan describes what queuePublishLocked decided to write this round,
+// so the caller can commit the publisher state only after the store
+// acknowledged the writes.
+type pubPlan struct {
+	changed bool // commands were queued
+	full    bool // a fresh base was queued (vs a delta)
+	seq     uint64
+	ver     uint64
+	cmds    int
+}
+
+// queuePublishLocked snapshots the local state and queues this round's
+// publish commands (nothing when the state is unchanged; a cumulative
+// delta against the published base normally; a DEL plus fresh base every
+// fullEvery publishes, on the first publish, when the delta would outgrow
+// the full set, or after a detected store loss). Caller holds pubMu.
+func (s *Site) queuePublishLocked(p *store.Pipeline) pubPlan {
+	ver := s.v.State().Version()
+	if s.havePub && !s.forceFull && ver == s.lastVer {
+		return pubPlan{ver: ver}
+	}
+	s.snapBuf = s.v.State().SnapshotInto(s.snapBuf)
+	seq := s.pubSeq + 1
+	full := !s.havePub || s.forceFull || s.sinceFull >= s.fullEvery
+	if !full {
+		s.removedBuf, s.upsertBuf = diffSnapshots(s.baseSnap, s.snapBuf, s.removedBuf[:0], s.upsertBuf[:0])
+		if len(s.removedBuf)+len(s.upsertBuf) > len(s.snapBuf) {
+			full = true // the delta outgrew the full set: cheaper to re-base
+		}
+	}
+	if full {
+		s.pubPayload = appendSnapshot(s.pubPayload[:0], s.id, seq, s.snapBuf)
+		// DEL first clears the stale delta field (and any legacy plain
+		// key), so a reader can never pair the new base with an old delta.
+		p.Del(s.key())
+		p.HSet(s.key(), "base", s.pubPayload)
+		return pubPlan{changed: true, full: true, seq: seq, ver: ver, cmds: 2}
+	}
+	s.pubPayload = appendDelta(s.pubPayload[:0], s.id, s.baseSeq, seq, s.removedBuf, s.upsertBuf)
+	p.HSet(s.key(), "delta", s.pubPayload)
+	return pubPlan{changed: true, full: false, seq: seq, ver: ver, cmds: 1}
+}
+
+// commitPublishLocked applies a store-acknowledged publish plan to the
+// publisher state. Caller holds pubMu.
+func (s *Site) commitPublishLocked(plan pubPlan) {
+	s.stats.publishes.Add(1)
+	if !plan.changed {
+		s.stats.publishSkips.Add(1)
+		return
+	}
+	s.pubSeq = plan.seq
+	s.lastVer = plan.ver
+	s.havePub = true
+	s.forceFull = false
+	if plan.full {
+		s.baseSeq = plan.seq
+		s.baseSnap = copySnapshot(s.baseSnap, s.snapBuf)
+		s.sinceFull = 0
+		s.stats.fullSnapshots.Add(1)
+	} else {
+		s.sinceFull++
+		s.stats.deltaSnapshots.Add(1)
+	}
+}
+
+// copySnapshot deep-copies src into dst, reusing dst's entry capacity. The
+// published base must not alias the snapshot buffer: the next SnapshotInto
+// overwrites that buffer in place.
+func copySnapshot(dst, src []deps.Blocked) []deps.Blocked {
+	for len(dst) < len(src) {
+		dst = append(dst, deps.Blocked{})
+	}
+	dst = dst[:len(src)]
+	for i := range src {
+		dst[i].Task = src[i].Task
+		dst[i].WaitsFor = append(dst[i].WaitsFor[:0], src[i].WaitsFor...)
+		dst[i].Regs = append(dst[i].Regs[:0], src[i].Regs...)
+	}
+	return dst
+}
+
+// republishFullLocked force-publishes a fresh base snapshot, healing a
+// store that lost the site's fields (restart, eviction). Caller holds
+// pubMu.
+func (s *Site) republishFullLocked() error {
+	s.forceFull = true
+	s.stats.storeRepairs.Add(1)
+	plan := s.queuePublishLocked(s.pubPipe)
+	reps, err := s.pubPipe.Exec()
+	if err == nil {
+		for _, r := range reps {
+			if r.Err != nil {
+				err = r.Err
+				break
+			}
+		}
+	}
+	if err != nil {
+		s.stats.publishErrors.Add(1)
+		return err
+	}
+	s.commitPublishLocked(plan)
+	return nil
+}
+
+// PublishOnce publishes the local blocked statuses: a delta when the state
+// changed since the last publish, nothing (beyond a liveness probe) when
+// it did not, a full base snapshot on the re-base cadence. The store's
+// reply doubles as a health check — if the hash does not hold the fields
+// the site believes it published (a restarted store starts empty), a full
+// snapshot is republished immediately. One round of the publish half of
+// the loop; exported for tests and for applications that drive their own
+// schedule. Snapshots are deep copies (deps.State copies statuses on both
+// write and read), so a publish can never observe torn data from a
+// concurrently re-blocking task; all buffers are reused across rounds.
 func (s *Site) PublishOnce() error {
 	s.pubMu.Lock()
 	defer s.pubMu.Unlock()
 	if s.isClosed() {
 		return ErrSiteClosed
 	}
-	s.snapBuf = s.v.State().SnapshotInto(s.snapBuf)
-	payload := encodeSnapshot(s.id, s.seq.Add(1), s.snapBuf)
-	if err := s.client.Set(s.key(), payload); err != nil {
+	plan := s.queuePublishLocked(s.pubPipe)
+	s.pubPipe.HLen(s.key())
+	reps, err := s.pubPipe.Exec()
+	if err != nil {
 		s.stats.publishErrors.Add(1)
 		return err
 	}
-	s.stats.publishes.Add(1)
+	for _, r := range reps[:len(reps)-1] {
+		if r.Err != nil {
+			s.stats.publishErrors.Add(1)
+			return r.Err
+		}
+	}
+	s.commitPublishLocked(plan)
+	wantFields := 1
+	if s.pubSeq != s.baseSeq {
+		wantFields = 2 // base + live delta
+	}
+	if !s.havePub {
+		wantFields = 0
+	}
+	if reps[len(reps)-1].N != wantFields {
+		return s.republishFullLocked()
+	}
 	return nil
 }
 
-// CheckOnce fetches every site's published snapshot, merges it with the
-// live local state, and runs cycle analysis on the global view. It returns
-// the deadlock report, or (nil, nil) when the global state is deadlock
-// free. Undecodable snapshots are dropped (counted in SiteStats) rather
-// than failing the check.
+// notePublishOutcomeLocked counts and logs the loop's publish outcomes:
+// the first failure of a streak and the eventual recovery, so publish
+// errors are visible in site logs distinctly from check errors without one
+// line per failed period. Caller holds pubMu.
+func (s *Site) notePublishOutcomeLocked(err error) {
+	if err != nil {
+		s.stats.publishErrors.Add(1)
+		s.pubErrStreak++
+		if s.pubErrStreak == 1 {
+			log.Printf("armus: site %d: publish failed (peers keep the last snapshot): %v", s.id, err)
+		}
+		return
+	}
+	if s.pubErrStreak > 0 {
+		log.Printf("armus: site %d: publish recovered after %d failed rounds", s.id, s.pubErrStreak)
+		s.pubErrStreak = 0
+	}
+}
+
+// ownExpect is what the publisher believes the store holds for its own
+// key; the MGETP echo is validated against it.
+type ownExpect struct {
+	baseSeq   uint64
+	seq       uint64
+	published bool
+}
+
+// ingestLocked refreshes the per-peer view cache from one MGETP reply.
+// Unchanged peers (same base and view seqs) cost two header peeks; a
+// changed delta is decoded and applied over the cached base; a changed
+// base is re-decoded in full. Corrupt payloads never wedge the round: a
+// corrupt delta falls back to that peer's base view, a corrupt base keeps
+// the previous good view (or drops the peer if there was none), and both
+// are counted. Peers absent from the reply were withdrawn and are
+// evicted. When exp is non-nil the site's own fields are validated against
+// it and ownIntact reports whether the store still holds what the site
+// published (false after a store restart). Caller holds chkMu.
+func (s *Site) ingestLocked(entries []store.Entry, exp *ownExpect) (viewsChanged, ownIntact bool) {
+	ownIntact = true
+	own := s.key()
+	ownSeen := false
+	for _, pv := range s.peers {
+		pv.seen = false
+	}
+	for i := 0; i < len(entries); {
+		key := entries[i].Key
+		var basePayload, deltaPayload, plainPayload []byte
+		for ; i < len(entries) && entries[i].Key == key; i++ {
+			switch entries[i].Field {
+			case "base":
+				basePayload = entries[i].Value
+			case "delta":
+				deltaPayload = entries[i].Value
+			case "":
+				plainPayload = entries[i].Value
+			}
+		}
+		if key == own {
+			if exp != nil && exp.published {
+				ownSeen = true
+				okBase := false
+				if basePayload != nil {
+					_, bs, err := peekSnapshotSeq(basePayload)
+					okBase = err == nil && bs == exp.baseSeq
+				}
+				okDelta := exp.seq == exp.baseSeq // no delta expected
+				if !okDelta && deltaPayload != nil {
+					_, df, dt, err := peekDeltaSeqs(deltaPayload)
+					okDelta = err == nil && df == exp.baseSeq && dt == exp.seq
+				}
+				if !okBase || !okDelta {
+					ownIntact = false
+				}
+			}
+			continue
+		}
+		if basePayload == nil {
+			// Sites that predate the hash layout publish a plain key; treat
+			// it as a base-only snapshot (tests also write these directly).
+			basePayload = plainPayload
+		}
+		pv := s.peers[key]
+		if basePayload == nil {
+			// A delta with no base: the publisher is mid-repair or the
+			// store lost the base field. Keep the last good view.
+			if pv != nil {
+				pv.seen = true
+			} else {
+				s.stats.snapshotsDropped.Add(1)
+			}
+			continue
+		}
+		_, bseq, err := peekSnapshotSeq(basePayload)
+		if err != nil {
+			if pv != nil {
+				pv.seen = true // keep the last good view
+			}
+			s.stats.snapshotsDropped.Add(1)
+			continue
+		}
+		target := bseq
+		haveDelta := false
+		var deltaTo uint64
+		if deltaPayload != nil {
+			_, df, dt, derr := peekDeltaSeqs(deltaPayload)
+			if derr == nil && df == bseq {
+				haveDelta, deltaTo, target = true, dt, dt
+			} else {
+				// Corrupt header or a delta against a different base (the
+				// publisher re-based between our reads): the base alone is
+				// a consistent, self-contained view.
+				s.stats.deltaFallbacks.Add(1)
+			}
+		}
+		if pv != nil && pv.baseSeq == bseq && pv.viewSeq == target {
+			pv.seen = true
+			continue // unchanged: no decode, no rebuild
+		}
+		if pv == nil {
+			_, _, snap, err := decodeSnapshot(basePayload)
+			if err != nil {
+				s.stats.snapshotsDropped.Add(1)
+				continue
+			}
+			pv = &peerView{base: snap, baseSeq: bseq, view: snap, viewSeq: bseq, seen: true}
+			s.peers[key] = pv
+			viewsChanged = true
+		} else {
+			pv.seen = true
+			if pv.baseSeq != bseq {
+				_, _, snap, err := decodeSnapshot(basePayload)
+				if err != nil {
+					s.stats.snapshotsDropped.Add(1)
+					continue // keep the last good view
+				}
+				pv.base, pv.baseSeq = snap, bseq
+				pv.view, pv.viewSeq = snap, bseq
+				viewsChanged = true
+			}
+		}
+		if haveDelta && pv.viewSeq != deltaTo {
+			_, _, _, removed, upserts, err := decodeDelta(deltaPayload)
+			if err != nil {
+				// Corrupt delta body: fall back to the base snapshot. The
+				// publisher's next overwrite (or re-base) heals the field.
+				s.stats.deltaFallbacks.Add(1)
+				if pv.viewSeq != pv.baseSeq {
+					pv.view, pv.viewSeq = pv.base, pv.baseSeq
+					viewsChanged = true
+				}
+				continue
+			}
+			pv.applyBuf = applyDelta(pv.applyBuf[:0], pv.base, removed, upserts)
+			pv.view, pv.viewSeq = pv.applyBuf, deltaTo
+			viewsChanged = true
+		} else if !haveDelta && pv.viewSeq != bseq {
+			// The delta disappeared (publisher re-based): back to the base.
+			pv.view, pv.viewSeq = pv.base, bseq
+			viewsChanged = true
+		}
+	}
+	for key, pv := range s.peers {
+		if !pv.seen {
+			delete(s.peers, key)
+			viewsChanged = true
+		}
+	}
+	if exp != nil && exp.published && !ownSeen {
+		ownIntact = false // the store does not hold our key at all
+	}
+	return viewsChanged, ownIntact
+}
+
+// analyzeLocked merges the live local state with the cached peer views and
+// runs cycle analysis — unless nothing changed since the previous analysis
+// (no peer view advanced, local state version identical), in which case
+// the cached verdict is returned without rebuilding the graph. Caller
+// holds chkMu.
+func (s *Site) analyzeLocked(viewsChanged bool) *core.DeadlockError {
+	// Version is read before the snapshot: a mutation racing this round
+	// may make the cached verdict conservative (recomputed next round),
+	// never stale.
+	ver := s.v.State().Version()
+	if !viewsChanged && s.lastAnalysisOK && ver == s.lastAnalysisVer {
+		s.stats.checks.Add(1)
+		s.stats.analysisSkips.Add(1)
+		return s.lastRep
+	}
+	s.chkBuf = s.v.State().SnapshotInto(s.chkBuf)
+	merged := append(s.mergedBuf[:0], s.chkBuf...)
+	for _, pv := range s.peers {
+		merged = append(merged, pv.view...)
+	}
+	s.mergedBuf = merged
+	a := s.builder.Build(s.model, merged)
+	s.stats.checks.Add(1)
+	cyc := a.FindDeadlock(merged)
+	var rep *core.DeadlockError
+	if cyc != nil {
+		rep = s.newReport(cyc)
+	}
+	s.lastAnalysisOK = true
+	s.lastAnalysisVer = ver
+	s.lastRep = rep
+	return rep
+}
+
+// CheckOnce fetches every site's published fields in one MGETP round trip,
+// merges them (through the seq-gated peer cache) with the live local
+// state, and runs cycle analysis on the global view. It returns the
+// deadlock report, or (nil, nil) when the global state is deadlock free.
+// Undecodable snapshots are dropped (counted in SiteStats) rather than
+// failing the check.
 func (s *Site) CheckOnce() (*core.DeadlockError, error) {
 	if s.isClosed() {
 		return nil, ErrSiteClosed
 	}
 	s.chkMu.Lock()
 	defer s.chkMu.Unlock()
-	merged, err := s.fetchMergedLocked()
+	s.chkPipe.MGetPrefix(keyPrefix)
+	reps, err := s.chkPipe.Exec()
 	if err != nil {
 		s.stats.checkErrors.Add(1)
 		return nil, err
 	}
-	a := s.builder.Build(s.model, merged)
-	s.stats.checks.Add(1)
-	cyc := a.FindDeadlock(merged)
-	if cyc == nil {
-		return nil, nil
-	}
-	return s.newReport(cyc), nil
-}
-
-// fetchMergedLocked assembles the global view: the live local state plus
-// every other site's published snapshot. The local state is used directly
-// (it is fresher than the published copy of it); globally unique task IDs
-// make the merge a plain concatenation. Caller holds chkMu; the returned
-// slice is the reusable chkBuf (remote entries decoded last round are
-// overwritten in place, which is safe — nothing references them once the
-// round's analysis is done).
-func (s *Site) fetchMergedLocked() ([]deps.Blocked, error) {
-	merged := s.v.State().SnapshotInto(s.chkBuf)
-	defer func() { s.chkBuf = merged }()
-	keys, err := s.client.Keys(keyPrefix)
+	entries, err := reps[0].Entries()
 	if err != nil {
+		s.stats.checkErrors.Add(1)
 		return nil, err
 	}
-	own := s.key()
-	for _, k := range keys {
-		if k == own {
-			continue
-		}
-		payload, err := s.client.Get(k)
-		if errors.Is(err, store.ErrNil) {
-			continue // withdrawn between KEYS and GET
-		}
-		if err != nil {
-			return nil, err
-		}
-		_, _, snap, err := decodeSnapshot(payload)
-		if err != nil {
-			s.stats.snapshotsDropped.Add(1)
-			continue
-		}
-		merged = append(merged, snap...)
+	viewsChanged, _ := s.ingestLocked(entries, nil)
+	return s.analyzeLocked(viewsChanged), nil
+}
+
+// AnalyzeCached runs cycle analysis on the live local state merged with
+// the peer views from the most recent fetch, without touching the store.
+// It is exact only while no peer has published since that fetch — callers
+// that drive the cluster schedule themselves (the trace replayer) know
+// this; the background loop never uses it.
+func (s *Site) AnalyzeCached() (*core.DeadlockError, error) {
+	if s.isClosed() {
+		return nil, ErrSiteClosed
 	}
-	return merged, nil
+	s.chkMu.Lock()
+	defer s.chkMu.Unlock()
+	return s.analyzeLocked(false), nil
+}
+
+// RoundOnce runs one full verification round — the publish and fetch
+// halves share a single pipelined store round trip (this round's writes,
+// then one MGETP covering every site) — and analyses the merged view. The
+// site's own fields in the MGETP reply double as a liveness echo: when the
+// store no longer holds what was published (a restart emptied it), a full
+// snapshot is republished immediately, in the same round. Publish errors
+// are counted and logged per streak but do not fail the round (the check
+// half still runs on the local view); the returned error is a check
+// failure.
+func (s *Site) RoundOnce() (*core.DeadlockError, error) {
+	if s.isClosed() {
+		return nil, ErrSiteClosed
+	}
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.chkMu.Lock()
+	defer s.chkMu.Unlock()
+	plan := s.queuePublishLocked(s.chkPipe)
+	s.chkPipe.MGetPrefix(keyPrefix)
+	reps, err := s.chkPipe.Exec()
+	if err != nil {
+		s.notePublishOutcomeLocked(err)
+		s.stats.checkErrors.Add(1)
+		return nil, err
+	}
+	var pubErr error
+	for _, r := range reps[:len(reps)-1] {
+		if r.Err != nil {
+			pubErr = r.Err
+			break
+		}
+	}
+	if pubErr == nil {
+		s.commitPublishLocked(plan)
+	}
+	s.notePublishOutcomeLocked(pubErr)
+	entries, err := reps[len(reps)-1].Entries()
+	if err != nil {
+		s.stats.checkErrors.Add(1)
+		return nil, err
+	}
+	var exp *ownExpect
+	if pubErr == nil {
+		exp = &ownExpect{baseSeq: s.baseSeq, seq: s.pubSeq, published: s.havePub}
+	}
+	viewsChanged, ownIntact := s.ingestLocked(entries, exp)
+	if !ownIntact {
+		// The store lost our fields (restart): heal before peers' next
+		// fetch. A failure here is counted; the next round retries.
+		_ = s.republishFullLocked()
+	}
+	return s.analyzeLocked(viewsChanged), nil
 }
 
 // newReport wraps a cycle as a *core.DeadlockError, naming local tasks
@@ -382,20 +857,32 @@ func (s *Site) newReport(cyc *deps.Cycle) *core.DeadlockError {
 type siteStats struct {
 	publishes        atomic.Int64
 	publishErrors    atomic.Int64
+	publishSkips     atomic.Int64
+	fullSnapshots    atomic.Int64
+	deltaSnapshots   atomic.Int64
+	storeRepairs     atomic.Int64
 	checks           atomic.Int64
 	checkErrors      atomic.Int64
+	analysisSkips    atomic.Int64
 	snapshotsDropped atomic.Int64
+	deltaFallbacks   atomic.Int64
 	deadlocks        atomic.Int64
 	withdrawFailures atomic.Int64
 }
 
 // SiteStats is a point-in-time copy of a site's counters.
 type SiteStats struct {
-	Publishes        int64 // snapshots successfully published
+	Publishes        int64 // publish rounds completed against a live store
 	PublishErrors    int64 // publish rounds lost to store errors
-	Checks           int64 // global analyses completed
+	PublishSkips     int64 // publish rounds with nothing to write (state unchanged)
+	FullSnapshots    int64 // full base snapshots published
+	DeltaSnapshots   int64 // cumulative deltas published
+	StoreRepairs     int64 // full republishes after the store lost our fields
+	Checks           int64 // check rounds completed
 	CheckErrors      int64 // check rounds lost to store errors
-	SnapshotsDropped int64 // undecodable remote snapshots skipped
+	AnalysisSkips    int64 // check rounds that reused the previous verdict
+	SnapshotsDropped int64 // undecodable remote base snapshots skipped
+	DeltaFallbacks   int64 // corrupt/mismatched remote deltas replaced by their base
 	Deadlocks        int64 // distinct deadlock reports delivered
 	WithdrawFailures int64 // Close could not remove the snapshot key
 }
@@ -405,9 +892,15 @@ func (s *Site) Stats() SiteStats {
 	return SiteStats{
 		Publishes:        s.stats.publishes.Load(),
 		PublishErrors:    s.stats.publishErrors.Load(),
+		PublishSkips:     s.stats.publishSkips.Load(),
+		FullSnapshots:    s.stats.fullSnapshots.Load(),
+		DeltaSnapshots:   s.stats.deltaSnapshots.Load(),
+		StoreRepairs:     s.stats.storeRepairs.Load(),
 		Checks:           s.stats.checks.Load(),
 		CheckErrors:      s.stats.checkErrors.Load(),
+		AnalysisSkips:    s.stats.analysisSkips.Load(),
 		SnapshotsDropped: s.stats.snapshotsDropped.Load(),
+		DeltaFallbacks:   s.stats.deltaFallbacks.Load(),
 		Deadlocks:        s.stats.deadlocks.Load(),
 		WithdrawFailures: s.stats.withdrawFailures.Load(),
 	}

@@ -18,8 +18,12 @@ import (
 // gate and the divergence-repro workflow can chew through recorded
 // executions: avoid and detect replays are in-memory (the avoid row
 // exercises the targeted index gate per mutation, detect the full
-// graph-build scan), while dist pays a real store round trip per verdict,
-// which is exactly why its events/sec sits orders of magnitude lower.
+// graph-build scan), while dist answers each verdict from the mutated
+// site's pipelined store round — one delta publish plus one MGETP fetch
+// per round trip — which is why its events/sec trails the in-memory rows
+// and why the Store cmds / Store RTs columns are worth watching: round
+// trips creeping above one per mutation is the first sign the batching
+// regressed.
 func RunReplay(o Options) (*Table, error) {
 	o.defaults()
 	rec := trace.NewRecorder()
@@ -35,7 +39,7 @@ func RunReplay(o Options) (*Table, error) {
 	t := &Table{
 		Title: fmt.Sprintf("Replay throughput: %d-event CG trace (%d mutations), %d replays per pipeline",
 			len(tr.Events), tr.Mutations(), o.Samples),
-		Header: []string{"Pipeline", "Events", "Mutations", "Mean", "CI", "Events/s"},
+		Header: []string{"Pipeline", "Events", "Mutations", "Mean", "CI", "Events/s", "Store cmds", "Store RTs"},
 	}
 	ro := replay.Options{Sites: o.Sites}
 	var lastPerPipeline []*replay.Result
@@ -66,6 +70,8 @@ func RunReplay(o Options) (*Table, error) {
 			fmt.Sprintf("%d", tr.Mutations()),
 			Dur(m.Mean()), Dur(m.CI95()),
 			fmt.Sprintf("%.0f", perSec),
+			fmt.Sprintf("%d", last.StoreCommands),
+			fmt.Sprintf("%d", last.StoreRoundTrips),
 		})
 	}
 	// The experiment is a correctness gate too: the three pipelines must

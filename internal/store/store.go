@@ -5,8 +5,12 @@
 // client that transparently reconnects after server restarts.
 //
 // Supported commands: PING, SET, GET, DEL, KEYS (prefix match), HSET, HGET,
-// HGETALL, HDEL — the subset the one-phase detection algorithm needs (each
-// site SETs its own key; every site KEYS+GETs all sites).
+// HGETALL, HDEL, HLEN, MGETP — the subset the one-phase detection algorithm
+// needs. MGETP returns every value under a key prefix (plain keys and hash
+// fields alike) in a single round trip, so a verification round costs one
+// command instead of KEYS plus one GET per site; the Client additionally
+// supports pipelining (Pipeline) so several commands share one flush and
+// one round trip.
 package store
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -36,10 +41,12 @@ type Server struct {
 	closed bool
 }
 
-// NewServer starts a store server on addr (e.g. "127.0.0.1:0"). It serves
-// until Close is called.
+// NewServer starts a store server on addr (e.g. "127.0.0.1:0"). An address
+// of the form "unix:/path/to.sock" listens on a unix domain socket instead
+// of TCP — for store and sites on one machine that roughly halves the
+// per-round-trip latency. It serves until Close is called.
 func NewServer(addr string) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
+	ln, err := listen(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -54,8 +61,29 @@ func NewServer(addr string) (*Server, error) {
 	return s, nil
 }
 
-// Addr returns the address the server is listening on.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+// listen splits the optional "unix:" scheme off addr and opens the
+// matching listener. Unix listeners unlink a stale socket file first so a
+// restarted server can rebind the same path.
+func listen(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		if conn, err := net.Dial("unix", path); err == nil {
+			conn.Close()
+			return nil, fmt.Errorf("store: %s already in use", addr)
+		}
+		_ = os.Remove(path)
+		return net.Listen("unix", path)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// Addr returns the address the server is listening on, in the same form
+// NewServer accepts (unix sockets keep their "unix:" prefix).
+func (s *Server) Addr() string {
+	if s.ln.Addr().Network() == "unix" {
+		return "unix:" + s.ln.Addr().String()
+	}
+	return s.ln.Addr().String()
+}
 
 // Close stops the server and closes every connection. The store contents
 // are discarded (a restarted server starts empty, like a non-persistent
@@ -108,13 +136,21 @@ func (s *Server) serve(conn net.Conn) {
 	for {
 		args, err := readArray(r)
 		if err != nil {
+			// A malformed frame (or EOF) mid-batch must not swallow the
+			// replies to commands that already executed: flush what's
+			// buffered before closing, best-effort.
+			w.Flush()
 			return
 		}
 		if err := s.dispatch(w, args); err != nil {
 			return
 		}
-		if err := w.Flush(); err != nil {
-			return
+		// Flush only once the client's pipelined batch is drained: replies
+		// to back-to-back commands coalesce into one write syscall.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -123,8 +159,10 @@ func (s *Server) dispatch(w *bufio.Writer, args [][]byte) error {
 	if len(args) == 0 {
 		return writeError(w, "empty command")
 	}
-	cmd := strings.ToUpper(string(args[0]))
-	switch cmd {
+	// The switch below compares the raw command bytes, which the compiler
+	// handles without allocating; clients send uppercase, so the ToUpper
+	// fallback in the default arm is the cold path.
+	switch string(args[0]) {
 	case "PING":
 		return writeSimple(w, "PONG")
 
@@ -238,6 +276,94 @@ func (s *Server) dispatch(w *bufio.Writer, args [][]byte) error {
 		s.mu.RUnlock()
 		return writeArray(w, out)
 
+	case "HLEN":
+		if len(args) != 2 {
+			return writeError(w, "HLEN needs hash")
+		}
+		s.mu.RLock()
+		n := len(s.hashes[string(args[1])])
+		s.mu.RUnlock()
+		return writeInt(w, n)
+
+	case "MGETP":
+		if len(args) != 2 {
+			return writeError(w, "MGETP needs a prefix")
+		}
+		prefix := string(args[1])
+		s.mu.RLock()
+		var keys []string
+		for k := range s.data {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
+		}
+		for k := range s.hashes {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		// A key can live in both maps (SET then HSET); emit it once per
+		// store entry, so dedupe the merged key list.
+		uniq := keys[:0]
+		for i, k := range keys {
+			if i == 0 || k != keys[i-1] {
+				uniq = append(uniq, k)
+			}
+		}
+		// Reply is a flat array of (key, field, value) triples sorted by
+		// (key, field); plain keys carry an empty field. The entries stream
+		// straight from the maps into the write buffer under the read lock,
+		// with no intermediate slices or value copies.
+		n := 0
+		for _, k := range uniq {
+			if _, ok := s.data[k]; ok {
+				n++
+			}
+			n += len(s.hashes[k])
+		}
+		var fields []string
+		emit := func() error {
+			if err := writeHeader(w, '*', 3*n); err != nil {
+				return err
+			}
+			for _, k := range uniq {
+				if v, ok := s.data[k]; ok {
+					if err := writeBulkString(w, k); err != nil {
+						return err
+					}
+					if err := writeBulk(w, nil); err != nil {
+						return err
+					}
+					if err := writeBulk(w, v); err != nil {
+						return err
+					}
+				}
+				if h, ok := s.hashes[k]; ok {
+					fields = fields[:0]
+					for f := range h {
+						fields = append(fields, f)
+					}
+					sort.Strings(fields)
+					for _, f := range fields {
+						if err := writeBulkString(w, k); err != nil {
+							return err
+						}
+						if err := writeBulkString(w, f); err != nil {
+							return err
+						}
+						if err := writeBulk(w, h[f]); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		}
+		err := emit()
+		s.mu.RUnlock()
+		return err
+
 	case "HDEL":
 		if len(args) != 3 {
 			return writeError(w, "HDEL needs hash and field")
@@ -254,7 +380,15 @@ func (s *Server) dispatch(w *bufio.Writer, args [][]byte) error {
 		return writeInt(w, n)
 
 	default:
-		return writeError(w, "unknown command "+cmd)
+		up := strings.ToUpper(string(args[0]))
+		if up != string(args[0]) {
+			args[0] = []byte(up)
+			return s.dispatch(w, args)
+		}
+		// Commands are binary-safe bulk strings but error lines are not:
+		// quote the echo so an embedded CR/LF cannot corrupt the reply
+		// stream.
+		return writeError(w, "unknown command "+strconv.Quote(up))
 	}
 }
 
@@ -272,19 +406,42 @@ var ErrServerError = errors.New("store: server error")
 // ErrNil is returned by Get/HGet for a missing key.
 var ErrNil = errors.New("store: nil reply")
 
+// writeHeader writes a one-byte type tag, a decimal count, and CRLF without
+// going through fmt: the digits are formatted straight into the bufio
+// writer's spare capacity.
+func writeHeader(w *bufio.Writer, tag byte, n int) error {
+	b := w.AvailableBuffer()
+	b = append(b, tag)
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, '\r', '\n')
+	_, err := w.Write(b)
+	return err
+}
+
 func writeSimple(w *bufio.Writer, s string) error {
-	_, err := fmt.Fprintf(w, "+%s\r\n", s)
+	if err := w.WriteByte('+'); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(s); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
 	return err
 }
 
 func writeError(w *bufio.Writer, msg string) error {
-	_, err := fmt.Fprintf(w, "-ERR %s\r\n", msg)
+	if _, err := w.WriteString("-ERR "); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(msg); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
 	return err
 }
 
 func writeInt(w *bufio.Writer, n int) error {
-	_, err := fmt.Fprintf(w, ":%d\r\n", n)
-	return err
+	return writeHeader(w, ':', n)
 }
 
 func writeNil(w *bufio.Writer) error {
@@ -293,7 +450,7 @@ func writeNil(w *bufio.Writer) error {
 }
 
 func writeBulk(w *bufio.Writer, b []byte) error {
-	if _, err := fmt.Fprintf(w, "$%d\r\n", len(b)); err != nil {
+	if err := writeHeader(w, '$', len(b)); err != nil {
 		return err
 	}
 	if _, err := w.Write(b); err != nil {
@@ -303,8 +460,21 @@ func writeBulk(w *bufio.Writer, b []byte) error {
 	return err
 }
 
+// writeBulkString is writeBulk for string-typed data, avoiding a []byte
+// conversion at the call site.
+func writeBulkString(w *bufio.Writer, s string) error {
+	if err := writeHeader(w, '$', len(s)); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(s); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
 func writeArray(w *bufio.Writer, items [][]byte) error {
-	if _, err := fmt.Fprintf(w, "*%d\r\n", len(items)); err != nil {
+	if err := writeHeader(w, '*', len(items)); err != nil {
 		return err
 	}
 	for _, it := range items {
@@ -315,8 +485,21 @@ func writeArray(w *bufio.Writer, items [][]byte) error {
 	return nil
 }
 
+// readLine returns one CRLF-terminated protocol line without the CRLF. The
+// slice aliases the reader's internal buffer and is valid only until the
+// next read; every caller parses or copies it before reading again.
 func readLine(r *bufio.Reader) ([]byte, error) {
-	line, err := r.ReadBytes('\n')
+	line, err := r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		// Rare slow path: the line outgrows the buffer (e.g. a very long
+		// error message); accumulate fragments into a fresh slice.
+		long := append([]byte(nil), line...)
+		for err == bufio.ErrBufferFull {
+			line, err = r.ReadSlice('\n')
+			long = append(long, line...)
+		}
+		line = long
+	}
 	if err != nil {
 		return nil, err
 	}

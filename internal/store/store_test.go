@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -335,6 +337,190 @@ func TestClientConcurrentReconnect(t *testing.T) {
 	wg.Wait()
 }
 
+func TestMGetPrefix(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.Set("armus:site:1", []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.HSet("armus:site:2", "delta", []byte("d2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.HSet("armus:site:2", "base", []byte("b2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("other", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MGetPrefix("armus:site:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{
+		{Key: "armus:site:1", Field: "", Value: []byte("plain")},
+		{Key: "armus:site:2", Field: "base", Value: []byte("b2")},
+		{Key: "armus:site:2", Field: "delta", Value: []byte("d2")},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("MGetPrefix = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key || got[i].Field != want[i].Field || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	empty, err := c.MGetPrefix("nosuch:")
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("MGetPrefix(nosuch) = %v, %v", empty, err)
+	}
+}
+
+// A key living both as plain data and as a hash (SET then HSET) must show
+// up once per stored entry, not be double-listed.
+func TestMGetPrefixMixedKey(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.Set("k", []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.HSet("k", "f", []byte("hashed")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MGetPrefix("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Field != "" || got[1].Field != "f" {
+		t.Fatalf("MGetPrefix mixed = %v", got)
+	}
+}
+
+func TestHLen(t *testing.T) {
+	_, c := newPair(t)
+	if n, err := c.HLen("h"); err != nil || n != 0 {
+		t.Fatalf("HLen absent = %d, %v", n, err)
+	}
+	if err := c.HSet("h", "f1", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.HSet("h", "f2", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.HLen("h"); err != nil || n != 2 {
+		t.Fatalf("HLen = %d, %v", n, err)
+	}
+}
+
+// TestPipelineExec drives a mixed batch through one flush and checks the
+// replies come back in order, with per-command errors (nil reply, server
+// error) carried in Reply.Err without aborting the batch.
+func TestPipelineExec(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.HSet("h", "base", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Pipeline()
+	p.Set("k", []byte("v"))
+	p.HSet("h", "delta", []byte("d"))
+	p.HLen("h")
+	p.MGetPrefix("h")
+	p.Del("absent")
+	if p.Len() != 5 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	reps, err := p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 5 {
+		t.Fatalf("got %d replies", len(reps))
+	}
+	if reps[0].Simple != "OK" || reps[1].Simple != "OK" {
+		t.Fatalf("write replies = %+v %+v", reps[0], reps[1])
+	}
+	if reps[2].N != 2 {
+		t.Fatalf("HLEN reply = %+v", reps[2])
+	}
+	entries, err := reps[3].Entries()
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("MGETP reply = %v, %v", entries, err)
+	}
+	if reps[4].N != 0 || reps[4].Err != nil {
+		t.Fatalf("DEL reply = %+v", reps[4])
+	}
+	// Exec cleared the queue: an immediate Exec is a no-op.
+	if reps, err := p.Exec(); err != nil || reps != nil {
+		t.Fatalf("empty Exec = %v, %v", reps, err)
+	}
+	// The pipeline is reusable, and a server error mid-batch does not
+	// poison the commands after it.
+	p.add("BOGUS", []byte("BOGUS"))
+	p.Set("k2", []byte("v2"))
+	reps, err = p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(reps[0].Err, ErrServerError) {
+		t.Fatalf("bogus reply = %+v", reps[0])
+	}
+	if reps[1].Simple != "OK" || reps[1].Err != nil {
+		t.Fatalf("set after bogus = %+v", reps[1])
+	}
+}
+
+// TestPipelineReconnects: a pipelined batch against a restarted server is
+// retried whole, once, on a fresh connection.
+func TestPipelineReconnects(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	c := Dial(addr)
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv2, err := NewServer(addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	p := c.Pipeline()
+	p.Set("k", []byte("v"))
+	p.MGetPrefix("k")
+	reps, err := p.Exec()
+	if err != nil {
+		t.Fatalf("pipeline after restart: %v", err)
+	}
+	entries, err := reps[1].Entries()
+	if err != nil || len(entries) != 1 || string(entries[0].Value) != "v" {
+		t.Fatalf("entries after restart = %v, %v", entries, err)
+	}
+}
+
+func TestClientStats(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Pipeline()
+	p.Set("k2", []byte("v"))
+	p.MGetPrefix("k")
+	if _, err := p.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.RoundTrips != 3 {
+		t.Fatalf("RoundTrips = %d, want 3", st.RoundTrips)
+	}
+	if st.Commands["SET"] != 2 || st.Commands["GET"] != 1 || st.Commands["MGETP"] != 1 {
+		t.Fatalf("Commands = %v", st.Commands)
+	}
+}
+
 // TestClientSurvivesManyRestarts cycles the server through several
 // kill/rebind rounds under sequential traffic: the client must recover
 // after every round (regression bed for the redial-once retry logic).
@@ -360,4 +546,36 @@ func TestClientSurvivesManyRestarts(t *testing.T) {
 		}
 	}
 	srv.Close()
+}
+
+// TestMalformedTailFlushesBatchReplies pins the serve loop's error exit:
+// a pipelined batch whose last frame is malformed still delivers the
+// replies to the commands that executed before the connection closes —
+// the reply-coalescing flush must not swallow them.
+func TestMalformedTailFlushesBatchReplies(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Two valid commands, then a frame whose declared bulk length lies.
+	batch := "*1\r\n$4\r\nPING\r\n" +
+		"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n" +
+		"*1\r\n$5\r\nBO\nGUS\r\n"
+	if _, err := conn.Write([]byte(batch)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(conn) // server closes after the bad frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "+PONG\r\n+OK\r\n"
+	if string(got) != want {
+		t.Fatalf("replies before close = %q, want %q", got, want)
+	}
 }

@@ -1,0 +1,39 @@
+package replay
+
+import (
+	"fmt"
+	"testing"
+
+	"armus/internal/core"
+	"armus/internal/trace"
+	"armus/internal/workloads/npb"
+)
+
+// recordCG records one CG-kernel trace for the replay benchmarks.
+func recordCG(b *testing.B) *trace.Trace {
+	b.Helper()
+	rec := trace.NewRecorder()
+	v := core.New(core.WithMode(core.ModeAvoid), core.WithTraceRecorder(rec))
+	if _, err := npb.RunCG(v, npb.Config{Tasks: 8, Class: 1}); err != nil {
+		b.Fatal(err)
+	}
+	v.Close()
+	return rec.Trace()
+}
+
+// BenchmarkReplayCG times a full CG-trace replay per pipeline. The dist
+// row is the profiling entry point for the delta/pipelining work: one
+// op is the whole trace (hundreds of mutations), so per-mutation cost is
+// ns/op divided by the trace's mutation count.
+func BenchmarkReplayCG(b *testing.B) {
+	tr := recordCG(b)
+	for _, p := range Pipelines() {
+		b.Run(fmt.Sprintf("%v", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ReplayTrace(tr, p, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -13,8 +13,12 @@
 //     (snapshot, graph build under the configured model, cycle search) —
 //     exactly what the detection loop runs every period;
 //   - Dist deals the statuses across observe-mode dist.Sites connected to
-//     a real store server, publishes, and requires every site's merged
-//     global view (§5.2 one-phase detection) to reach one common verdict.
+//     a real store server: the mutated site runs a full pipelined
+//     publish+fetch round (dist.Site.RoundOnce) for the per-mutation
+//     verdict — exact, because every other site's last mutation is already
+//     published by then — and the §5.2 all-site agreement is asserted at
+//     settle points: every verdict transition, every Options.SettleEvery
+//     mutations, and at end of trace.
 //
 // Equivalent then asserts that the per-mutation verdict sequences of any
 // two pipelines are identical — the paper's model-equivalence theorems
@@ -37,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"armus/internal/core"
@@ -98,11 +103,18 @@ type Options struct {
 	// Sites is the number of sites the Dist pipeline deals statuses
 	// across (default 3).
 	Sites int
+	// SettleEvery is how many mutations may pass between the Dist
+	// pipeline's full all-site agreement checks (default 64; verdict
+	// transitions and end of trace always settle).
+	SettleEvery int
 }
 
 func (o Options) withDefaults() Options {
 	if o.Sites <= 0 {
 		o.Sites = 3
+	}
+	if o.SettleEvery <= 0 {
+		o.SettleEvery = 64
 	}
 	return o
 }
@@ -127,6 +139,11 @@ type Result struct {
 	// Deadlocked is the verdict after the final mutation (false for a
 	// mutation-free trace).
 	Deadlocked bool
+	// StoreCommands and StoreRoundTrips count the Dist pipeline's store
+	// traffic for the whole replay (zero for in-process pipelines) — the
+	// replay-throughput experiment reports them per mutation.
+	StoreCommands   int64
+	StoreRoundTrips int64
 	// Elapsed is the wall-clock replay time (the replay-throughput
 	// experiment divides Events by it).
 	Elapsed time.Duration
@@ -173,6 +190,12 @@ type engine interface {
 	// probe tentatively inserts b, reports whether the resulting state is
 	// deadlocked, and removes b again (gate-rejection re-validation).
 	probe(b deps.Blocked) (bool, error)
+	// finish runs end-of-trace assertions (the Dist pipeline's final
+	// all-site settle); a no-op for in-process pipelines.
+	finish() error
+	// storeStats reports cumulative store commands and round trips (zero
+	// for in-process pipelines).
+	storeStats() (cmds, roundTrips int64)
 	close()
 }
 
@@ -297,7 +320,11 @@ func Replay(src Source, p Pipeline, o Options) (*Result, error) {
 			return nil, fail("unknown event kind %d", ev.Kind)
 		}
 	}
+	if err := eng.finish(); err != nil {
+		return nil, fmt.Errorf("replay %v: end of trace: %w", p, err)
+	}
 	res.Elapsed = time.Since(start)
+	res.StoreCommands, res.StoreRoundTrips = eng.storeStats()
 	return res, nil
 }
 
@@ -392,6 +419,10 @@ func (e *avoidEngine) probe(b deps.Blocked) (bool, error) {
 
 func (e *avoidEngine) close() {}
 
+func (e *avoidEngine) finish() error { return nil }
+
+func (e *avoidEngine) storeStats() (int64, int64) { return 0, 0 }
+
 // AvoidEngine exposes the avoidance reference engine to out-of-process
 // parity checks (internal/client.ReplayTrace mirrors a remote armus-serve
 // gate against it). There is deliberately ONE in-process reference for
@@ -465,26 +496,70 @@ func (e *detectEngine) probe(b deps.Blocked) (bool, error) {
 
 func (e *detectEngine) close() { e.v.Close() }
 
+func (e *detectEngine) finish() error { return nil }
+
+func (e *detectEngine) storeStats() (int64, int64) { return 0, 0 }
+
 // distEngine answers verdicts with the distributed pipeline: statuses are
-// dealt across observe-mode sites by task ID, dirty sites publish to a
-// real store server, and every site's merged global check must reach one
-// common verdict (the one-phase §5.2 property, asserted on every step).
+// dealt across observe-mode sites by task ID, and the mutated site answers
+// each per-mutation verdict from one full pipelined round (RoundOnce:
+// publish the delta, fetch every peer, analyse the merged view — one store
+// round trip). That verdict is exact, not an approximation: a site's merged
+// view is its live local state plus every peer's published snapshot, and
+// the engine publishes a peer's mutations before any other site fetches,
+// so the owner's view always equals the global state. When no peer has
+// anything new — no publish since the owner's last fetch, no unpublished
+// mutation — the store round is skipped entirely (AnalyzeCached), which is
+// what the engine's bookkeeping below tracks. The §5.2 all-site agreement
+// property is asserted at settle points: every verdict transition, every
+// SettleEvery mutations, and at end of trace, every site fetches and must
+// reach the common verdict.
 type distEngine struct {
-	srv   *store.Server
-	sites []*dist.Site
-	dirty map[int]bool
+	srv         *store.Server
+	sockDir     string // temp dir of the unix socket, "" when on TCP
+	sites       []*dist.Site
+	settleEvery int
+	sinceSettle int
+	lastVerdict bool
+	lastOwner   int
+	tick        int    // monotonic store-operation counter
+	pubAt       []int  // tick of each site's last publish
+	fetchAt     []int  // tick of each site's last fetch
+	pending     []bool // site has mutations not yet published
 }
 
 func newDistEngine(o Options) (*distEngine, error) {
-	srv, err := store.NewServer("127.0.0.1:0")
+	srv, sockDir, err := newReplayStore()
 	if err != nil {
 		return nil, err
 	}
-	e := &distEngine{srv: srv, dirty: map[int]bool{}}
+	e := &distEngine{
+		srv:         srv,
+		sockDir:     sockDir,
+		settleEvery: o.SettleEvery,
+		pubAt:       make([]int, o.Sites),
+		fetchAt:     make([]int, o.Sites),
+		pending:     make([]bool, o.Sites),
+	}
 	for i := 0; i < o.Sites; i++ {
 		e.sites = append(e.sites, dist.NewSite(i+1, srv.Addr(), dist.WithModel(o.Model)))
 	}
 	return e, nil
+}
+
+// newReplayStore starts the store on a unix domain socket when the
+// platform allows it (store, sites, and replayer are colocated in one
+// process, and a local socket roughly halves the per-round latency),
+// falling back to loopback TCP otherwise.
+func newReplayStore() (*store.Server, string, error) {
+	if dir, err := os.MkdirTemp("", "armus-replay"); err == nil {
+		if srv, err := store.NewServer("unix:" + dir + "/store.sock"); err == nil {
+			return srv, dir, nil
+		}
+		os.RemoveAll(dir)
+	}
+	srv, err := store.NewServer("127.0.0.1:0")
+	return srv, "", err
 }
 
 func (e *distEngine) owner(t deps.TaskID) int {
@@ -494,40 +569,101 @@ func (e *distEngine) owner(t deps.TaskID) int {
 func (e *distEngine) set(b deps.Blocked) error {
 	i := e.owner(b.Task)
 	e.sites[i].Verifier().State().SetBlocked(b)
-	e.dirty[i] = true
+	e.pending[i] = true
+	e.lastOwner = i
 	return nil
 }
 
 func (e *distEngine) clear(t deps.TaskID) error {
 	i := e.owner(t)
 	e.sites[i].Verifier().State().Clear(t)
-	e.dirty[i] = true
+	e.pending[i] = true
+	e.lastOwner = i
 	return nil
 }
 
-// verdict publishes every dirty site's snapshot, then checks the merged
-// global view from every site: all must agree.
+// publish flushes site i's unpublished mutations to the store.
+func (e *distEngine) publish(i int) error {
+	if err := e.sites[i].PublishOnce(); err != nil {
+		return fmt.Errorf("dist publish (site %d): %w", e.sites[i].ID(), err)
+	}
+	e.tick++
+	e.pubAt[i] = e.tick
+	e.pending[i] = false
+	return nil
+}
+
+// verdict computes the global verdict from the last mutated site's view.
 func (e *distEngine) verdict() (bool, error) {
-	for i := range e.dirty {
-		if err := e.sites[i].PublishOnce(); err != nil {
-			return false, fmt.Errorf("dist publish (site %d): %w", e.sites[i].ID(), err)
+	j := e.lastOwner
+	// The owner's cached peer views are current unless some other site
+	// published since the owner's last fetch or holds unpublished
+	// mutations; only then is a store round needed.
+	need := false
+	for i := range e.sites {
+		if i != j && (e.pending[i] || e.pubAt[i] > e.fetchAt[j]) {
+			need = true
+			break
 		}
 	}
-	clear(e.dirty)
-	common := false
+	var deadlocked bool
+	if !need {
+		rep, err := e.sites[j].AnalyzeCached()
+		if err != nil {
+			return false, fmt.Errorf("dist analyze (site %d): %w", e.sites[j].ID(), err)
+		}
+		deadlocked = rep != nil
+	} else {
+		for i := range e.sites {
+			if i != j && e.pending[i] {
+				if err := e.publish(i); err != nil {
+					return false, err
+				}
+			}
+		}
+		rep, err := e.sites[j].RoundOnce()
+		if err != nil {
+			return false, fmt.Errorf("dist round (site %d): %w", e.sites[j].ID(), err)
+		}
+		e.tick++
+		e.pubAt[j], e.fetchAt[j] = e.tick, e.tick
+		e.pending[j] = false
+		deadlocked = rep != nil
+	}
+	e.sinceSettle++
+	if deadlocked != e.lastVerdict || e.sinceSettle >= e.settleEvery {
+		if err := e.settle(deadlocked); err != nil {
+			return false, err
+		}
+		e.sinceSettle = 0
+	}
+	e.lastVerdict = deadlocked
+	return deadlocked, nil
+}
+
+// settle publishes every pending site and asserts that all sites' merged
+// views agree with the owner's verdict — the one-phase §5.2 property.
+func (e *distEngine) settle(want bool) error {
+	for i := range e.sites {
+		if e.pending[i] {
+			if err := e.publish(i); err != nil {
+				return err
+			}
+		}
+	}
 	for i, s := range e.sites {
 		rep, err := s.CheckOnce()
 		if err != nil {
-			return false, fmt.Errorf("dist check (site %d): %w", s.ID(), err)
+			return fmt.Errorf("dist check (site %d): %w", s.ID(), err)
 		}
-		if i == 0 {
-			common = rep != nil
-		} else if (rep != nil) != common {
-			return false, fmt.Errorf("sites disagree: site %d says %v, site %d says %v",
-				e.sites[0].ID(), common, s.ID(), rep != nil)
+		e.tick++
+		e.fetchAt[i] = e.tick
+		if (rep != nil) != want {
+			return fmt.Errorf("sites disagree: site %d says %v, owner site %d says %v",
+				s.ID(), rep != nil, e.sites[e.lastOwner].ID(), want)
 		}
 	}
-	return common, nil
+	return nil
 }
 
 func (e *distEngine) probe(b deps.Blocked) (bool, error) {
@@ -541,9 +677,26 @@ func (e *distEngine) probe(b deps.Blocked) (bool, error) {
 	return d, err
 }
 
+func (e *distEngine) finish() error { return e.settle(e.lastVerdict) }
+
+func (e *distEngine) storeStats() (int64, int64) {
+	var cmds, rts int64
+	for _, s := range e.sites {
+		st := s.StoreStats()
+		rts += st.RoundTrips
+		for _, n := range st.Commands {
+			cmds += n
+		}
+	}
+	return cmds, rts
+}
+
 func (e *distEngine) close() {
 	for _, s := range e.sites {
 		s.Close()
 	}
 	e.srv.Close()
+	if e.sockDir != "" {
+		os.RemoveAll(e.sockDir)
+	}
 }

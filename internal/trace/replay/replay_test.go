@@ -239,3 +239,56 @@ func TestParse(t *testing.T) {
 		t.Fatalf("Parse(bogus) succeeded")
 	}
 }
+
+// TestReplayDistSettleEveryMutation runs the dist pipeline at its
+// strictest settle cadence — an all-site agreement check after every
+// single mutation — over a trace whose verdict flips to deadlocked and
+// back. Any divergence between the owner-site verdict and the other
+// sites' merged views fails the replay, so this pins the §5.2 one-phase
+// property at mutation granularity.
+func TestReplayDistSettleEveryMutation(t *testing.T) {
+	tr := recordDetectDeadlock(t)
+	results, err := VerifyAll(tr, Options{SettleEvery: 1})
+	if err != nil {
+		t.Fatalf("verify with per-mutation settles: %v", err)
+	}
+	if results[0].DeadlockSteps == 0 {
+		t.Fatalf("deadlock did not survive the per-mutation settle replay")
+	}
+}
+
+// TestReplayDistStoreAccounting pins the tentpole's traffic contract at
+// the replay level: the dist pipeline batches each verification round
+// into one pipelined round trip, so a whole replay costs at most two
+// round trips per mutation (owner rounds plus settle traffic) — an order
+// of magnitude below the KEYS + per-site GET protocol it replaced. The
+// in-memory pipelines must report zero store traffic.
+func TestReplayDistStoreAccounting(t *testing.T) {
+	rec := trace.NewRecorder()
+	v := core.New(core.WithMode(core.ModeAvoid), core.WithTraceRecorder(rec))
+	if _, err := npb.RunCG(v, npb.Config{Tasks: 4, Class: 1}); err != nil {
+		t.Fatalf("CG: %v", err)
+	}
+	v.Close()
+	tr := rec.Trace()
+	results, err := VerifyAll(tr, Options{})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	for _, r := range results {
+		switch r.Pipeline {
+		case Dist:
+			if r.StoreRoundTrips == 0 || r.StoreCommands == 0 {
+				t.Fatalf("dist replay reported no store traffic: %+v", r)
+			}
+			if max := int64(2 * r.Mutations); r.StoreRoundTrips > max {
+				t.Fatalf("dist replay cost %d round trips for %d mutations (cap %d): batching regressed",
+					r.StoreRoundTrips, r.Mutations, max)
+			}
+		default:
+			if r.StoreRoundTrips != 0 || r.StoreCommands != 0 {
+				t.Fatalf("%v replay reported store traffic: %+v", r.Pipeline, r)
+			}
+		}
+	}
+}
