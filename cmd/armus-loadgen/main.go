@@ -6,6 +6,13 @@
 //
 //	armus-loadgen -addr 127.0.0.1:7777 -clients 64 -mode avoid
 //	armus-loadgen -addr 127.0.0.1:7777 -clients 16 -mode detect -corpus 'testdata/corpus/*.trace'
+//	armus-loadgen -fleet host1:7777,host2:7777 -clients 32 -kill-pid $SRV1 -kill-after 2s
+//
+// With -fleet, sessions route by rendezvous hashing across the listed
+// servers and fail over when one dies; -kill-pid/-kill-after SIGKILL a
+// server mid-run, so an exit status of 0 additionally certifies zero
+// verdict divergence across the kill (snapshot rehydration + client
+// resync).
 //
 // Sources: every trace matching -corpus plus -sim-seeds freshly recorded
 // internal/sim program executions. Each client replays each source into
@@ -29,7 +36,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"armus/internal/client"
@@ -48,6 +57,7 @@ type source struct {
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7777", "armus-serve address")
+		fleetCSV   = flag.String("fleet", "", "comma-separated fleet shard map: sessions route by rendezvous hashing with failover (-addr is ignored)")
 		clients    = flag.Int("clients", 64, "concurrent client sessions")
 		mode       = flag.String("mode", "avoid", "session mode: avoid or detect")
 		corpus     = flag.String("corpus", "testdata/corpus/*.trace", "trace corpus glob ('' disables)")
@@ -55,8 +65,19 @@ func main() {
 		iters      = flag.Int("iters", 1, "replays of each source per client")
 		checkEvery = flag.Int("check-every", 8, "checkpoint (verdict parity probe) every n mutations")
 		prefix     = flag.String("session-prefix", "lg", "session name prefix")
+		killAfter  = flag.Duration("kill-after", 0, "SIGKILL the -kill-pid process this long into the run (chaos injection)")
+		killPid    = flag.Int("kill-pid", 0, "process to SIGKILL after -kill-after (0 disables)")
 	)
 	flag.Parse()
+	var fleet []string
+	if *fleetCSV != "" {
+		fleet = strings.Split(*fleetCSV, ",")
+		// Fleet runs persist session snapshots that outlive servers AND this
+		// process; a rerun reusing session names would rehydrate the
+		// previous run's state mid-parity-check. The pid nonce keeps every
+		// run's namespace fresh.
+		*prefix = fmt.Sprintf("%s%d", *prefix, os.Getpid())
+	}
 
 	var m core.Mode
 	switch *mode {
@@ -78,8 +99,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "armus-loadgen: no sources (empty corpus and -sim-seeds 0)")
 		os.Exit(2)
 	}
+	target := *addr
+	if len(fleet) > 0 {
+		target = fmt.Sprintf("fleet %v", fleet)
+	}
 	fmt.Printf("armus-loadgen: %d clients x %d sources x %d iters against %s (%s mode, checkpoint every %d)\n",
-		*clients, len(sources), *iters, *addr, m, *checkEvery)
+		*clients, len(sources), *iters, target, m, *checkEvery)
+
+	if *killPid != 0 && *killAfter > 0 {
+		go func() {
+			time.Sleep(*killAfter)
+			fmt.Printf("armus-loadgen: chaos: SIGKILL pid %d at t=%v\n", *killPid, *killAfter)
+			if err := syscall.Kill(*killPid, syscall.SIGKILL); err != nil {
+				fmt.Fprintf(os.Stderr, "armus-loadgen: kill %d: %v\n", *killPid, err)
+			}
+		}()
+	}
 
 	type result struct {
 		events, mutations, rejections, checkpoints int
@@ -103,6 +138,7 @@ func main() {
 					// run in the other mode may still be inside their lease.
 					c, err := client.Dial(client.Config{
 						Addr:    *addr,
+						Fleet:   fleet,
 						Session: fmt.Sprintf("%s-%s-c%d-s%d-i%d", *prefix, m, i, j, it),
 						Mode:    m,
 					})

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,17 +39,29 @@ func main() {
 		grace    = flag.Duration("drain-grace", 5*time.Second, "graceful-shutdown wait for connections to finish")
 		batch    = flag.Int("batch", 256, "max events applied per session-lock acquisition")
 		queue    = flag.Int("queue", 256, "per-connection outbound response queue bound")
+		storeDSN = flag.String("store", "", "armus-store address for session-snapshot persistence (empty disables)")
+		snapEv   = flag.Int("snapshot-every", 64, "persist a session snapshot every n executor batches")
+		snapFull = flag.Int("snapshot-full-every", 16, "every nth persisted snapshot is a full base (deltas between)")
+		fleetCSV = flag.String("fleet", "", "comma-separated fleet shard map (the same list clients route with)")
+		selfAddr = flag.String("self", "", "this server's entry in -fleet (foreign-session accounting)")
 		quiet    = flag.Bool("quiet", false, "suppress per-session log lines")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
-		Addr:        *listen,
-		Lease:       *lease,
-		SweepPeriod: *sweep,
-		DrainGrace:  *grace,
-		MaxBatch:    *batch,
-		QueueLen:    *queue,
+		Addr:              *listen,
+		Lease:             *lease,
+		SweepPeriod:       *sweep,
+		DrainGrace:        *grace,
+		MaxBatch:          *batch,
+		QueueLen:          *queue,
+		StoreAddr:         *storeDSN,
+		SnapshotEvery:     *snapEv,
+		SnapshotFullEvery: *snapFull,
+		SelfAddr:          *selfAddr,
+	}
+	if *fleetCSV != "" {
+		cfg.Fleet = strings.Split(*fleetCSV, ",")
 	}
 	if *quiet {
 		cfg.Logf = func(string, ...any) {}
@@ -60,6 +73,10 @@ func main() {
 	}
 	log.Printf("armus-serve: listening on %s (lease %v, batch %d, queue %d)",
 		s.Addr(), *lease, *batch, *queue)
+	if *storeDSN != "" {
+		log.Printf("armus-serve: persisting session snapshots to %s (every %d batches, full base every %d)",
+			*storeDSN, *snapEv, *snapFull)
+	}
 
 	var hs *http.Server
 	if *httpAddr != "" {

@@ -21,9 +21,26 @@
 // redials with backoff, reattaches to the same session, and re-submits
 // the in-flight gate and checkpoint round-trips (SetBlocked is a refresh,
 // re-checking a verdict is idempotent — at-least-once is safe for both).
-// Fire-and-forget events buffered but unwritten survive a reconnect;
-// events written into a dying socket may be lost (at-most-once), exactly
-// like an in-process verifier losing its process.
+//
+// Every reconnect additionally RESYNCS the session: the client tracks the
+// last status it asserted for each of its tasks (the "owned" set) and,
+// before anything else on the new connection, clears them all and
+// re-asserts the live ones. The paper's Definition 4.1 is what makes this
+// a complete recovery protocol — a blocked task's status is a pure
+// function of the task, so the owned set IS this client's contribution to
+// the session state, and replaying it reconstructs that contribution
+// exactly. The server this lands on may be a different fleet member that
+// just rehydrated the session from a store snapshot (cfg.Fleet below):
+// the snapshot may lag reality, and the resync is what closes the gap —
+// acked-but-unsnapshotted events are re-asserted, stale snapshot entries
+// for this client's tasks are cleared. Zero verdict divergence across a
+// server kill falls out: rehydrated snapshot + resync = the state the
+// dead server had.
+//
+// With cfg.Fleet set, sessions route by rendezvous hashing
+// (internal/fleet): the client connects to the session's owner and walks
+// the rank order on dial failure, so a killed server's sessions fail over
+// deterministically to the same survivor every client would pick.
 package client
 
 import (
@@ -31,12 +48,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"armus/internal/core"
 	"armus/internal/deps"
+	"armus/internal/fleet"
 	"armus/internal/server/proto"
 	"armus/internal/trace"
 )
@@ -48,6 +67,12 @@ var ErrClosed = errors.New("client: closed")
 type Config struct {
 	// Addr is the armus-serve TCP address.
 	Addr string
+	// Fleet, when non-empty, is the static shard map of a server fleet:
+	// the session connects to its rendezvous owner (internal/fleet) and
+	// fails over along the rank order when the owner is unreachable. Addr
+	// is ignored. Every client and server of a fleet must be given the
+	// same list.
+	Fleet []string
 	// Session names the session to attach to; every client naming the
 	// same session shares one verifier state.
 	Session string
@@ -120,11 +145,19 @@ type checkResult struct {
 	err        error
 }
 
-// blockWaiter is one in-flight gated Block round trip.
+// blockWaiter is one in-flight gated Block round trip. The server answers
+// every avoidance-mode block event on a connection in write order, and
+// resync re-blocks (plus raw Emits of recorded block events) draw answers
+// with no waiter — so waiters pair with answers by ORDINAL, not task
+// alone: expectGateSeq is the count of block events written on the
+// current connection up to and including this waiter's, and only the
+// gate response with that ordinal is its answer (the gate-side mirror of
+// checkWaiter.expectSeq).
 type blockWaiter struct {
-	ev      trace.Event
-	ch      chan gateResult
-	sentGen int // connection generation the event was last written on (0 = unwritten)
+	ev            trace.Event
+	ch            chan gateResult
+	sentGen       int // connection generation the event was last written on (0 = unwritten)
+	expectGateSeq uint64
 }
 
 // checkWaiter is one in-flight Checkpoint round trip. Responses are
@@ -159,13 +192,21 @@ type link struct {
 type Client struct {
 	cfg  Config
 	emit chan outEvent
+	// addrs is the connection walk order: the session's fleet rank
+	// (owner first, failover tail after), or just [cfg.Addr].
+	addrs []string
 
 	closeCh chan struct{}
 	done    chan struct{}
 
-	mu      sync.Mutex
-	blocks  map[deps.TaskID]*blockWaiter
-	checks  []*checkWaiter
+	mu     sync.Mutex
+	blocks map[deps.TaskID]*blockWaiter
+	checks []*checkWaiter
+	// owned is the last status this client asserted per task: a non-nil
+	// entry is a live blocked status, a nil entry a cleared one. It is the
+	// client's whole contribution to the session state (Definition 4.1),
+	// replayed at each reconnect to resync the server — see run().
+	owned   map[deps.TaskID]*deps.Blocked
 	gen     int
 	termErr error
 	closed  bool
@@ -189,12 +230,24 @@ func Dial(cfg Config) (*Client, error) {
 	if !proto.ValidSession(cfg.Session) {
 		return nil, fmt.Errorf("client: invalid session name %q", cfg.Session)
 	}
+	addrs := []string{cfg.Addr}
+	if len(cfg.Fleet) > 0 {
+		m, err := fleet.New(cfg.Fleet)
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		addrs = m.Rank(cfg.Session)
+	} else if cfg.Addr == "" {
+		return nil, fmt.Errorf("client: no Addr and no Fleet")
+	}
 	c := &Client{
 		cfg:     cfg,
 		emit:    make(chan outEvent, cfg.Buffer),
+		addrs:   addrs,
 		closeCh: make(chan struct{}),
 		done:    make(chan struct{}),
 		blocks:  make(map[deps.TaskID]*blockWaiter),
+		owned:   make(map[deps.TaskID]*deps.Blocked),
 	}
 	l, err := c.connect()
 	if err != nil {
@@ -204,11 +257,41 @@ func Dial(cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// connect dials and completes the handshake: write the trace header,
-// read the hello.
+// permanentError marks a connect failure that trying another fleet member
+// cannot fix (mode conflict, refused attach): the walk stops and the
+// caller sees the real error instead of a masked placement on the wrong
+// server.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// connect walks the session's address rank — owner first, failover tail
+// after — and returns the first completed handshake. Transport failures
+// move on to the next member (that is fleet failover: the next server
+// rehydrates the session from its store snapshot); protocol refusals stop
+// the walk.
 func (c *Client) connect() (*link, error) {
+	var lastErr error
+	for _, addr := range c.addrs {
+		l, err := c.connectTo(addr)
+		if err == nil {
+			return l, nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return nil, pe.err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// connectTo dials one address and completes the handshake: write the
+// trace header, read the hello.
+func (c *Client) connectTo(addr string) (*link, error) {
 	d := net.Dialer{Timeout: c.cfg.DialTimeout}
-	nc, err := d.Dial("tcp", c.cfg.Addr)
+	nc, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -235,20 +318,29 @@ func (c *Client) connect() (*link, error) {
 	case proto.RespHello:
 		if core.Mode(r.Mode) != c.cfg.Mode {
 			nc.Close()
-			return nil, fmt.Errorf("client: session %q runs in %v mode, asked for %v",
-				c.cfg.Session, core.Mode(r.Mode), c.cfg.Mode)
+			return nil, &permanentError{fmt.Errorf("client: session %q runs in %v mode, asked for %v",
+				c.cfg.Session, core.Mode(r.Mode), c.cfg.Mode)}
 		}
 		if r.Resumed {
 			c.resumed.Store(true)
 		}
 	case proto.RespGoodbye:
 		nc.Close()
-		return nil, fmt.Errorf("client: attach refused (%s): %s", proto.ByeString(r.Code), r.Msg)
+		return nil, &permanentError{fmt.Errorf("client: attach refused (%s): %s", proto.ByeString(r.Code), r.Msg)}
 	default:
 		nc.Close()
 		return nil, fmt.Errorf("client: unexpected %v during handshake", r.Kind)
 	}
 	return &link{nc: nc, tw: tw, br: br}, nil
+}
+
+// resyncError reports a refused resync re-block: a status this client was
+// already granted no longer fits the session state found after failover.
+// Terminal — see the handling in loop.
+type resyncError struct{ task deps.TaskID }
+
+func (e *resyncError) Error() string {
+	return fmt.Sprintf("client: resync re-block of task%d refused: session state diverged across failover", e.task)
 }
 
 // goodbyeError is a server-initiated goodbye; apart from the
@@ -281,6 +373,19 @@ func (c *Client) loop(l *link) {
 			c.finish(err)
 			return
 		}
+		var rse *resyncError
+		if errors.As(err, &rse) {
+			// A resync re-block was refused: the rehydrated session state
+			// plus this client's own statuses closed a cycle. For a
+			// single-client session that cannot happen (everything
+			// re-asserted was admitted before, and resync state is a subset
+			// of that admitted, acyclic set); with multiple clients a stale
+			// peer snapshot can provoke it. Either way the session state no
+			// longer matches what this client was promised — loud and
+			// terminal beats silent divergence.
+			c.finish(err)
+			return
+		}
 		if c.cfg.OnDisconnect != nil {
 			c.cfg.OnDisconnect(err)
 		}
@@ -303,7 +408,7 @@ func (c *Client) loop(l *link) {
 			err = cerr
 		}
 		if nl == nil {
-			c.finish(fmt.Errorf("client: reconnect to %s failed: %w", c.cfg.Addr, err))
+			c.finish(fmt.Errorf("client: reconnect to %v failed: %w", c.addrs, err))
 			return
 		}
 		c.reconnects.Add(1)
@@ -311,12 +416,41 @@ func (c *Client) loop(l *link) {
 	}
 }
 
-// run drives one live connection: start its reader, re-submit in-flight
-// round trips from the previous connection, then pump the emitter.
+// run drives one live connection: resync the session state, start its
+// reader, re-submit in-flight round trips from the previous connection,
+// then pump the emitter.
 func (c *Client) run(l *link) error {
 	c.mu.Lock()
 	c.gen++
 	gen := c.gen
+	// The resync set (reconnects only): clear every task this client ever
+	// asserted, then re-assert the live ones — skipping tasks with an
+	// in-flight gated Block, whose resend below supersedes any refresh.
+	// Clearing FIRST matters: the server may have just rehydrated a store
+	// snapshot that lags reality, and mixing its stale statuses with fresh
+	// re-blocks could fabricate a cycle that never existed. After the
+	// clears, the re-asserted set is a subset of statuses the gate already
+	// admitted together, so (for this client's tasks) resync cannot be
+	// refused.
+	var resync []outEvent
+	if gen > 1 && len(c.owned) > 0 {
+		tasks := make([]deps.TaskID, 0, len(c.owned))
+		for t := range c.owned {
+			if _, inflight := c.blocks[t]; inflight {
+				continue
+			}
+			tasks = append(tasks, t)
+		}
+		sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+		for _, t := range tasks {
+			resync = append(resync, outEvent{ev: trace.Event{Kind: trace.KindUnblock, Task: t}})
+		}
+		for _, t := range tasks {
+			if st := c.owned[t]; st != nil {
+				resync = append(resync, outEvent{ev: trace.Event{Kind: trace.KindBlock, Task: t, Status: *st}})
+			}
+		}
+	}
 	var resend []outEvent
 	for _, w := range c.blocks {
 		if w.sentGen > 0 && w.sentGen < gen {
@@ -332,14 +466,31 @@ func (c *Client) run(l *link) error {
 	// sentVerdicts counts every verdict EVENT written on this connection
 	// — checkpoints and raw Emits alike — mirroring the server's
 	// per-connection response sequence, so checkpoint waiters know which
-	// RespVerdict ordinal is theirs.
-	var sentVerdicts uint64
+	// RespVerdict ordinal is theirs. sentBlocks does the same for block
+	// events and gate responses (avoidance sessions answer every block).
+	var sentVerdicts, sentBlocks uint64
 	writeEvent := func(oe *outEvent) error {
 		if oe.ev.Kind == trace.KindVerdict {
 			sentVerdicts++
 		}
-		c.noteWrite(oe, gen, sentVerdicts)
+		if oe.ev.Kind == trace.KindBlock {
+			sentBlocks++
+		}
+		c.noteWrite(oe, gen, sentVerdicts, sentBlocks)
 		return l.tw.WriteEvent(oe.ev)
+	}
+	for i := range resync {
+		if err := writeEvent(&resync[i]); err != nil {
+			return err
+		}
+	}
+	// Resync blocks are written before anything else, so in an avoidance
+	// session their unsolicited gate answers are exactly the first
+	// sentBlocks-so-far ordinals — the reader treats a refusal among them
+	// as the terminal resync failure.
+	resyncGates := sentBlocks
+	if c.cfg.Mode != core.ModeAvoid {
+		resyncGates = 0
 	}
 	for i := range resend {
 		if err := writeEvent(&resend[i]); err != nil {
@@ -354,7 +505,7 @@ func (c *Client) run(l *link) error {
 	readerDone := make(chan struct{})
 	go func() {
 		defer close(readerDone)
-		c.readLoop(l.br, readerErr)
+		c.readLoop(l.br, readerErr, resyncGates)
 	}()
 	// Join the reader before returning: a reader that outlived its
 	// connection could otherwise race the next connection's re-submission
@@ -408,14 +559,16 @@ func (c *Client) run(l *link) error {
 
 // noteWrite records, under the client lock and BEFORE the bytes hit the
 // wire, which connection generation an event's waiter was written on and
-// (checkpoints) which verdict-sequence ordinal it will be answered as.
-func (c *Client) noteWrite(oe *outEvent, gen int, verdictSeq uint64) {
+// which response ordinal it will be answered as (verdict sequence for
+// checkpoints, block-event ordinal for gated blocks).
+func (c *Client) noteWrite(oe *outEvent, gen int, verdictSeq, blockSeq uint64) {
 	if oe.bw == nil && oe.cw == nil {
 		return
 	}
 	c.mu.Lock()
 	if oe.bw != nil {
 		oe.bw.sentGen = gen
+		oe.bw.expectGateSeq = blockSeq
 	}
 	if oe.cw != nil {
 		oe.cw.sentGen = gen
@@ -425,8 +578,13 @@ func (c *Client) noteWrite(oe *outEvent, gen int, verdictSeq uint64) {
 }
 
 // readLoop dispatches one connection's responses until it fails.
-func (c *Client) readLoop(br *bufio.Reader, errch chan<- error) {
+// resyncGates is the count of resync re-blocks written at the head of this
+// connection (avoidance mode): their unsolicited gate answers arrive as
+// exactly the first resyncGates RespGate ordinals, and a refusal among
+// them is the terminal resync failure.
+func (c *Client) readLoop(br *bufio.Reader, errch chan<- error, resyncGates uint64) {
 	var r proto.Response
+	var recvGates uint64
 	for {
 		if err := proto.ReadResponse(br, &r); err != nil {
 			errch <- err
@@ -434,9 +592,25 @@ func (c *Client) readLoop(br *bufio.Reader, errch chan<- error) {
 		}
 		switch r.Kind {
 		case proto.RespGate:
+			// The server answers every block event on the connection in
+			// write order; resync re-blocks and raw Emits of recorded block
+			// events draw answers with no waiter. Pair by ordinal: only the
+			// response whose position matches the waiter's written block
+			// ordinal is its answer (mirror of the verdict matching below).
+			recvGates++
 			c.mu.Lock()
 			w := c.blocks[r.Task]
-			delete(c.blocks, r.Task)
+			if w == nil || w.expectGateSeq != recvGates {
+				w = nil
+			} else {
+				delete(c.blocks, r.Task)
+				if !r.Allowed {
+					// The refusal clears ownership under the same critical
+					// section that retires the waiter, so a racing reconnect
+					// can never resync-assert a status the gate rolled back.
+					c.owned[r.Task] = nil
+				}
+			}
 			c.mu.Unlock()
 			if w != nil {
 				w.ch <- gateResult{
@@ -444,6 +618,9 @@ func (c *Client) readLoop(br *bufio.Reader, errch chan<- error) {
 					tasks:     append([]deps.TaskID(nil), r.Tasks...),
 					resources: append([]deps.Resource(nil), r.Resources...),
 				}
+			} else if !r.Allowed && recvGates <= resyncGates {
+				errch <- &resyncError{task: r.Task}
+				return
 			}
 		case proto.RespVerdict:
 			// Match by the server's per-connection sequence number: the
@@ -518,6 +695,12 @@ func (c *Client) enqueue(oe outEvent) error {
 	if err := c.terminal(); err != nil {
 		return err
 	}
+	// Ownership is recorded BEFORE the push: once the emitter can write
+	// the event, a reconnect's resync must already account for it. A gated
+	// block recorded here and later refused is cleared by readLoop; until
+	// the gate answers, its waiter sits in c.blocks and resync skips the
+	// task, so the provisional entry is never asserted.
+	c.noteOwned(&oe.ev)
 	select {
 	case c.emit <- oe:
 		return nil
@@ -526,6 +709,26 @@ func (c *Client) enqueue(oe outEvent) error {
 			return err
 		}
 		return ErrClosed
+	}
+}
+
+// noteOwned folds one outbound event into the owned set — the client's
+// replayable contribution to the session state (see run's resync).
+func (c *Client) noteOwned(ev *trace.Event) {
+	switch ev.Kind {
+	case trace.KindBlock:
+		st := &deps.Blocked{
+			Task:     ev.Status.Task,
+			WaitsFor: append([]deps.Resource(nil), ev.Status.WaitsFor...),
+			Regs:     append([]deps.Reg(nil), ev.Status.Regs...),
+		}
+		c.mu.Lock()
+		c.owned[ev.Task] = st
+		c.mu.Unlock()
+	case trace.KindUnblock:
+		c.mu.Lock()
+		c.owned[ev.Task] = nil
+		c.mu.Unlock()
 	}
 }
 

@@ -1,0 +1,347 @@
+package client_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"armus/internal/client"
+	"armus/internal/clock"
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/fleet"
+	"armus/internal/server"
+	"armus/internal/store"
+)
+
+func startStore(t *testing.T) *store.Server {
+	t.Helper()
+	st, err := store.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("store.NewServer: %v", err)
+	}
+	t.Cleanup(st.Close)
+	return st
+}
+
+func startFleetServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFleetRoutingAndFailover: with a fleet list, the client connects to
+// the session's rendezvous owner; when the owner is unreachable it walks
+// the rank order and lands on the survivor.
+func TestFleetRoutingAndFailover(t *testing.T) {
+	live := startFleetServer(t, server.Config{})
+	// A dead fleet member: a listener that was closed right away, so dials
+	// to it fail fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	addrs := []string{deadAddr, live.Addr()}
+	fm, err := fleet.New(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a session the DEAD member owns, so the walk is exercised.
+	sess := ""
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("walk-%d", i)
+		if fm.Owner(name) == deadAddr {
+			sess = name
+			break
+		}
+	}
+	if sess == "" {
+		t.Fatal("no session owned by the dead member in 1000 candidates")
+	}
+
+	c, err := client.Dial(client.Config{
+		Fleet: addrs, Session: sess, Mode: core.ModeAvoid,
+		DialTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Dial via failover: %v", err)
+	}
+	defer c.Close()
+	if err := c.Block(st(1, 2, 1, 1, 0)); err != nil {
+		t.Fatalf("block on failover target: %v", err)
+	}
+	var ge *client.GateError
+	if err := c.Block(st(2, 1, 1, 2, 0)); !errors.As(err, &ge) {
+		t.Fatalf("deadlock-closing block: got %v, want *GateError", err)
+	}
+}
+
+// TestFleetModeMismatchStopsWalk: a protocol refusal (session runs in the
+// other mode) is permanent — the client must NOT mask it by walking to the
+// next fleet member and silently splitting the session.
+func TestFleetModeMismatchStopsWalk(t *testing.T) {
+	s1 := startFleetServer(t, server.Config{})
+	s2 := startFleetServer(t, server.Config{})
+	addrs := []string{s1.Addr(), s2.Addr()}
+	fm, err := fleet.New(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := ""
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("modal-%d", i)
+		if fm.Owner(name) == s1.Addr() {
+			sess = name
+			break
+		}
+	}
+	if sess == "" {
+		t.Fatal("no session owned by s1 in 1000 candidates")
+	}
+	c1, err := client.Dial(client.Config{Fleet: addrs, Session: sess, Mode: core.ModeAvoid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	_, err = client.Dial(client.Config{Fleet: addrs, Session: sess, Mode: core.ModeDetect})
+	if err == nil || !strings.Contains(err.Error(), "mode") {
+		t.Fatalf("mode-conflict dial: got %v, want mode-mismatch error (walk must stop)", err)
+	}
+}
+
+// TestFleetChaosKillServer is the satellite-1 chaos run: 3 servers sharing
+// one store, 32 sessions routed by rendezvous hashing, one server killed
+// abruptly mid-run. The requirement is ZERO divergence: every gate answer
+// and every checkpoint verdict after the kill must equal what an unkilled
+// run produces (here: all blocks admitted, all checkpoints false — the
+// workload is deadlock-free by construction), with the orphaned sessions
+// resuming on the survivors.
+func TestFleetChaosKillServer(t *testing.T) {
+	stSrv := startStore(t)
+	var servers []*server.Server
+	for i := 0; i < 3; i++ {
+		servers = append(servers, startFleetServer(t, server.Config{
+			StoreAddr: stSrv.Addr(), SnapshotEvery: 1,
+		}))
+	}
+	addrs := []string{servers[0].Addr(), servers[1].Addr(), servers[2].Addr()}
+	fm, err := fleet.New(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sessions = 32
+	const preRounds = 5
+	const postRounds = 6
+	names := make([]string, sessions)
+	for i := range names {
+		names[i] = fmt.Sprintf("chaos-%d", i)
+	}
+	// Kill the owner of names[0] so at least one session is orphaned.
+	victimAddr := fm.Owner(names[0])
+	victimIdx := 0
+	for i, a := range addrs {
+		if a == victimAddr {
+			victimIdx = i
+		}
+	}
+	ownedByVictim := 0
+	for _, n := range names {
+		if fm.Owner(n) == victimAddr {
+			ownedByVictim++
+		}
+	}
+
+	var reports atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	atBarrier := make(chan struct{}, sessions) // clients report reaching the kill point
+	killed := make(chan struct{})              // closed once the victim is dead
+	clients := make([]*client.Client, sessions)
+
+	for i := 0; i < sessions; i++ {
+		mode := core.ModeAvoid
+		if i%2 == 1 {
+			mode = core.ModeDetect
+		}
+		c, err := client.Dial(client.Config{
+			Fleet: addrs, Session: names[i], Mode: mode,
+			Subscribe: true, OnReport: func(client.Report) { reports.Add(1) },
+			RedialBackoff: 5 * time.Millisecond, DialTimeout: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("Dial %s: %v", names[i], err)
+		}
+		clients[i] = c
+		t.Cleanup(func() { c.Close() })
+	}
+
+	round := func(c *client.Client, base int64) error {
+		for k := int64(0); k < 4; k++ {
+			task := base + k
+			q := task%4 + 1
+			if err := c.Register(deps.TaskID(task), deps.PhaserID(q), 1, 0); err != nil {
+				return err
+			}
+			// Arrived at its own phaser: deadlock-free by construction, so
+			// any refusal is a divergence.
+			if err := c.Block(deps.Blocked{
+				Task:     deps.TaskID(task),
+				WaitsFor: []deps.Resource{{Phaser: deps.PhaserID(q), Phase: 1}},
+				Regs:     []deps.Reg{{Phaser: deps.PhaserID(q), Phase: 1}},
+			}); err != nil {
+				return fmt.Errorf("block task%d: %w", task, err)
+			}
+		}
+		if d, err := c.Checkpoint(); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		} else if d {
+			return errors.New("spurious deadlock verdict")
+		}
+		for k := int64(0); k < 4; k++ {
+			if err := c.Unblock(deps.TaskID(base + k)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := clients[i]
+			// A sentinel task stays blocked for the whole run, so the
+			// session state (and thus its snapshot) is never empty.
+			if err := c.Block(st(int64(1000+i), 9, 1, 9, 1)); err != nil {
+				errCh <- fmt.Errorf("%s sentinel: %w", names[i], err)
+				return
+			}
+			for r := 0; r < preRounds; r++ {
+				if err := round(c, int64(r*10)); err != nil {
+					errCh <- fmt.Errorf("%s pre-kill round %d: %w", names[i], r, err)
+					return
+				}
+			}
+			atBarrier <- struct{}{}
+			<-killed
+			for r := 0; r < postRounds; r++ {
+				if err := round(c, int64(r*10)); err != nil {
+					errCh <- fmt.Errorf("%s post-kill round %d: %w", names[i], r, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	for i := 0; i < sessions; i++ {
+		<-atBarrier
+	}
+	// Give the victim's persister a beat to drain, then kill it abruptly:
+	// Close severs every connection with no goodbye — the SIGKILL analogue
+	// for an in-process server.
+	waitUntil(t, func() bool { return servers[victimIdx].Metrics().SnapshotsPersisted >= 1 })
+	servers[victimIdx].Close()
+	close(killed)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if reports.Load() != 0 {
+		t.Fatalf("deadlock reports pushed = %d, want 0", reports.Load())
+	}
+	// Every orphaned client failed over (its connection died with the
+	// victim), and the survivors rehydrated their sessions from the store.
+	var rehydrated int64
+	for i, s := range servers {
+		if i == victimIdx {
+			continue
+		}
+		rehydrated += s.Metrics().SessionsRehydrated
+	}
+	if ownedByVictim > 0 && rehydrated < 1 {
+		t.Fatalf("rehydrated sessions = %d, want >= 1 (%d sessions were orphaned)",
+			rehydrated, ownedByVictim)
+	}
+	orphanReconnects := 0
+	for i := range clients {
+		if fm.Owner(names[i]) == victimAddr && clients[i].Reconnects() >= 1 {
+			orphanReconnects++
+		}
+	}
+	if orphanReconnects < ownedByVictim {
+		t.Fatalf("only %d of %d orphaned clients reconnected", orphanReconnects, ownedByVictim)
+	}
+}
+
+// TestFleetLeaseExpiryResume is the deterministic-clock chaos variant: the
+// session is garbage-collected after its lease (clock.Fake ticks, not wall
+// time), and a LATER client still resumes from the store snapshot — the
+// reconnect-after-GC window of satellite 4, exercised through the SDK.
+func TestFleetLeaseExpiryResume(t *testing.T) {
+	stSrv := startStore(t)
+	fc := clock.NewFake()
+	s := startFleetServer(t, server.Config{
+		StoreAddr: stSrv.Addr(), SnapshotEvery: 1,
+		Lease: 2 * time.Second, SweepPeriod: time.Second, Clock: fc,
+	})
+
+	c1, err := client.Dial(client.Config{Addr: s.Addr(), Session: "lease", Mode: core.ModeAvoid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Block(st(1, 2, 1, 1, 0)); err != nil {
+		t.Fatalf("block: %v", err)
+	}
+	waitUntil(t, func() bool { return s.Metrics().SnapshotsPersisted >= 1 })
+	c1.Close()
+	waitUntil(t, func() bool { return s.Metrics().ConnsOpen == 0 })
+	for i := 0; i < 10 && s.Metrics().SessionsGCed == 0; i++ {
+		fc.Tick()
+	}
+	if s.Metrics().SessionsGCed != 1 {
+		t.Fatal("session not collected after lease")
+	}
+
+	c2, err := client.Dial(client.Config{Addr: s.Addr(), Session: "lease", Mode: core.ModeAvoid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if !c2.Resumed() {
+		t.Fatal("post-GC client did not resume from the snapshot")
+	}
+	var ge *client.GateError
+	if err := c2.Block(st(2, 1, 1, 2, 0)); !errors.As(err, &ge) {
+		t.Fatalf("deadlock-closing block after GC+rehydrate: got %v, want *GateError", err)
+	}
+}

@@ -1,0 +1,49 @@
+package dist
+
+import "armus/internal/deps"
+
+// Exported codec surface: the ARMUSD1 full-snapshot and ARMUSI1 cumulative
+// delta encodings were built for site-to-site publication (§5.2), but they
+// encode exactly what a session snapshot IS — a blocked-status set plus a
+// sequence number — so the fleet failover path (internal/server persisting
+// per-session snapshots into the store, a replacement server rehydrating
+// them) reuses them verbatim through these thin wrappers. One codec, two
+// consumers: a divergence between what a site publishes and what a session
+// persists cannot exist.
+
+// EncodeSnapshot encodes a full blocked-status snapshot (ARMUSD1). snap
+// must be sorted by Task (deps.State.SnapshotInto output is).
+func EncodeSnapshot(siteID int, seq uint64, snap []deps.Blocked) []byte {
+	return encodeSnapshot(siteID, seq, snap)
+}
+
+// DecodeSnapshot decodes an ARMUSD1 payload.
+func DecodeSnapshot(payload []byte) (siteID int, seq uint64, snap []deps.Blocked, err error) {
+	return decodeSnapshot(payload)
+}
+
+// EncodeDelta encodes a cumulative delta against the base snapshot with
+// sequence baseSeq (ARMUSI1): removed tasks (strictly ascending) and
+// upserted statuses (sorted by Task).
+func EncodeDelta(siteID int, baseSeq, seq uint64, removed []deps.TaskID, upserts []deps.Blocked) []byte {
+	return encodeDelta(siteID, baseSeq, seq, removed, upserts)
+}
+
+// DecodeDelta decodes an ARMUSI1 payload.
+func DecodeDelta(payload []byte) (siteID int, baseSeq, seq uint64, removed []deps.TaskID, upserts []deps.Blocked, err error) {
+	return decodeDelta(payload)
+}
+
+// DiffSnapshots computes the cumulative delta from base to cur (both
+// sorted by Task): the tasks to remove and the statuses to upsert.
+// removed/upserts are reusable buffers (pass nil to allocate).
+func DiffSnapshots(base, cur []deps.Blocked, removed []deps.TaskID, upserts []deps.Blocked) ([]deps.TaskID, []deps.Blocked) {
+	return diffSnapshots(base, cur, removed, upserts)
+}
+
+// ApplyDelta reconstructs the current snapshot from base plus a delta's
+// removed/upserts, appending into dst (pass nil to allocate). All inputs
+// sorted by Task; the result is too.
+func ApplyDelta(dst, base []deps.Blocked, removed []deps.TaskID, upserts []deps.Blocked) []deps.Blocked {
+	return applyDelta(dst, base, removed, upserts)
+}

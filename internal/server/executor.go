@@ -146,6 +146,7 @@ func (ss *session) process(b *batch) {
 	if ss.mode == core.ModeDetect {
 		ss.report()
 	}
+	ss.maybeSnapshot()
 	ss.srv.m.Events.Add(int64(len(events)))
 	ss.srv.m.Batches.Add(1)
 	ss.srv.m.observeBatch(len(events))

@@ -70,7 +70,7 @@ func TestExecutorPathZeroAlloc(t *testing.T) {
 			}
 
 			srv := &Server{cfg: Config{Logf: func(string, ...any) {}}.withDefaults()}
-			ss := newSession(srv, "alloc", mode)
+			ss := newSession(srv, "alloc", mode, nil)
 			ss.shutdownExecutor() // run its loop inline instead
 			defer ss.closeEngine()
 			c := &conn{srv: srv, wsig: make(chan struct{}, 1), done: make(chan struct{})}
@@ -120,7 +120,7 @@ func TestExecutorPathZeroAlloc(t *testing.T) {
 // before exiting; none may be dropped on the floor.
 func TestExecutorDrainMidQueue(t *testing.T) {
 	srv := &Server{cfg: Config{Logf: func(string, ...any) {}}.withDefaults()}
-	ss := newSession(srv, "drain", core.ModeDetect)
+	ss := newSession(srv, "drain", core.ModeDetect, nil)
 	c := &conn{srv: srv, wsig: make(chan struct{}, 1), done: make(chan struct{})}
 	const batches = 16
 	for i := 0; i < batches; i++ {

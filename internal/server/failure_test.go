@@ -141,7 +141,7 @@ func TestMalformedFrameRejected(t *testing.T) {
 // bounded no matter how slow the peer.
 func TestSlowConsumerDisconnect(t *testing.T) {
 	srv := &Server{cfg: Config{QueueLen: 4, Logf: func(string, ...any) {}}.withDefaults()}
-	ss := newSession(srv, "slow", core.ModeDetect)
+	ss := newSession(srv, "slow", core.ModeDetect, nil)
 	defer func() {
 		ss.shutdownExecutor()
 		ss.closeEngine()

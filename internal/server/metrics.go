@@ -19,9 +19,15 @@ const batchBucketCount = len(batchBucketBounds) + 1 // + the +Inf bucket
 // Prometheus-text /metrics endpoint and the loadgen/CI assertions; all hot
 // paths touch them with lock-free atomic adds only.
 type Metrics struct {
-	SessionsOpen  atomic.Int64 // gauge: sessions currently in the table
-	SessionsTotal atomic.Int64 // counter: sessions ever opened
-	SessionsGCed  atomic.Int64 // counter: sessions expired by the janitor
+	SessionsOpen       atomic.Int64 // gauge: sessions currently in the table
+	SessionsTotal      atomic.Int64 // counter: sessions ever opened
+	SessionsGCed       atomic.Int64 // counter: sessions expired by the janitor
+	SessionsRehydrated atomic.Int64 // counter: sessions rebuilt from a store snapshot on attach
+	SessionsForeign    atomic.Int64 // counter: attached sessions another fleet member owns
+
+	SnapshotsPersisted atomic.Int64 // counter: session snapshots written to the store
+	SnapshotsDropped   atomic.Int64 // counter: snapshots dropped (persister backlog)
+	SnapshotErrors     atomic.Int64 // counter: store I/O or codec failures on the snapshot path
 
 	ConnsOpen  atomic.Int64 // gauge: live connections
 	ConnsTotal atomic.Int64 // counter: connections ever accepted
@@ -57,6 +63,9 @@ func (m *Metrics) observeBatch(n int) {
 // MetricsSnapshot is a point-in-time copy, for tests and /healthz.
 type MetricsSnapshot struct {
 	SessionsOpen, SessionsTotal, SessionsGCed int64
+	SessionsRehydrated, SessionsForeign       int64
+	SnapshotsPersisted, SnapshotsDropped      int64
+	SnapshotErrors                            int64
 	ConnsOpen, ConnsTotal                     int64
 	Events, Batches                           int64
 	GateAllowed, GateRejected                 int64
@@ -78,22 +87,27 @@ type MetricsSnapshot struct {
 // executor backlogs.
 func (s *Server) Metrics() MetricsSnapshot {
 	snap := MetricsSnapshot{
-		SessionsOpen:    s.m.SessionsOpen.Load(),
-		SessionsTotal:   s.m.SessionsTotal.Load(),
-		SessionsGCed:    s.m.SessionsGCed.Load(),
-		ConnsOpen:       s.m.ConnsOpen.Load(),
-		ConnsTotal:      s.m.ConnsTotal.Load(),
-		Events:          s.m.Events.Load(),
-		Batches:         s.m.Batches.Load(),
-		GateAllowed:     s.m.GateAllowed.Load(),
-		GateRejected:    s.m.GateRejected.Load(),
-		Checkpoints:     s.m.Checkpoints.Load(),
-		Reports:         s.m.Reports.Load(),
-		ExecSpawned:     s.m.ExecSpawned.Load(),
-		ExecParks:       s.m.ExecParks.Load(),
-		MalformedConns:  s.m.MalformedConns.Load(),
-		SlowDisconnects: s.m.SlowDisconnects.Load(),
-		BatchSum:        s.m.batchSum.Load(),
+		SessionsOpen:       s.m.SessionsOpen.Load(),
+		SessionsTotal:      s.m.SessionsTotal.Load(),
+		SessionsGCed:       s.m.SessionsGCed.Load(),
+		SessionsRehydrated: s.m.SessionsRehydrated.Load(),
+		SessionsForeign:    s.m.SessionsForeign.Load(),
+		SnapshotsPersisted: s.m.SnapshotsPersisted.Load(),
+		SnapshotsDropped:   s.m.SnapshotsDropped.Load(),
+		SnapshotErrors:     s.m.SnapshotErrors.Load(),
+		ConnsOpen:          s.m.ConnsOpen.Load(),
+		ConnsTotal:         s.m.ConnsTotal.Load(),
+		Events:             s.m.Events.Load(),
+		Batches:            s.m.Batches.Load(),
+		GateAllowed:        s.m.GateAllowed.Load(),
+		GateRejected:       s.m.GateRejected.Load(),
+		Checkpoints:        s.m.Checkpoints.Load(),
+		Reports:            s.m.Reports.Load(),
+		ExecSpawned:        s.m.ExecSpawned.Load(),
+		ExecParks:          s.m.ExecParks.Load(),
+		MalformedConns:     s.m.MalformedConns.Load(),
+		SlowDisconnects:    s.m.SlowDisconnects.Load(),
+		BatchSum:           s.m.batchSum.Load(),
 	}
 	for i := range s.m.batchBuckets {
 		snap.BatchBuckets[i] = s.m.batchBuckets[i].Load()
@@ -142,6 +156,11 @@ func (s *Server) Handler() http.Handler {
 			{"armus_serve_sessions_open", "gauge", "Sessions currently in the table.", snap.SessionsOpen},
 			{"armus_serve_sessions_total", "counter", "Sessions ever opened.", snap.SessionsTotal},
 			{"armus_serve_sessions_gced_total", "counter", "Sessions expired by the lease janitor.", snap.SessionsGCed},
+			{"armus_serve_session_rehydrated_total", "counter", "Sessions rebuilt from a store snapshot on attach (fleet failover).", snap.SessionsRehydrated},
+			{"armus_serve_sessions_foreign_total", "counter", "Attached sessions the fleet shard map assigns to another member.", snap.SessionsForeign},
+			{"armus_serve_snapshots_persisted_total", "counter", "Session snapshots written to the store.", snap.SnapshotsPersisted},
+			{"armus_serve_snapshots_dropped_total", "counter", "Session snapshots dropped on persister backlog.", snap.SnapshotsDropped},
+			{"armus_serve_snapshot_errors_total", "counter", "Store or codec failures on the snapshot path.", snap.SnapshotErrors},
 			{"armus_serve_conns_open", "gauge", "Live client connections.", snap.ConnsOpen},
 			{"armus_serve_conns_total", "counter", "Connections ever accepted.", snap.ConnsTotal},
 			{"armus_serve_events_total", "counter", "Verifier events ingested.", snap.Events},

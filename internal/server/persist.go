@@ -1,0 +1,186 @@
+package server
+
+import (
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/dist"
+)
+
+// Store-backed session persistence: the fleet-failover half of the server.
+//
+// Every session periodically snapshots its blocked-status state into the
+// shared store (an armus:sess:<name> hash holding a full ARMUSD1 base plus
+// a cumulative ARMUSI1 delta — the dist codec verbatim), and attach of a
+// session absent from the table rehydrates from that hash. Definition 4.1
+// is what makes this sound: a blocked task's status is a pure function of
+// the task, so a session's verifier state IS its blocked-status set —
+// re-applying the snapshot into a fresh engine reconstructs the exact
+// verdict-relevant state, and the client SDK's reconnect resync
+// (re-asserting every live status) closes whatever gap the snapshot
+// cadence left.
+//
+// The hot path stays allocation-free: the executor only bumps a counter
+// per batch; every SnapshotEvery batches it encodes (into buffers that are
+// reused or handed off whole) and hands the payload to ONE persister
+// goroutine over a bounded channel. A full channel drops the snapshot
+// (next one supersedes it; the drop is counted) rather than ever blocking
+// an executor on store I/O. The single persister preserves per-session
+// base/delta write order, which is what keeps a concurrently rehydrating
+// reader coherent: a delta whose baseSeq does not match the stored base is
+// simply ignored.
+
+// sessionKeyPrefix namespaces session snapshots in the shared store.
+const sessionKeyPrefix = "armus:sess:"
+
+func sessionKey(name string) string { return sessionKeyPrefix + name }
+
+// persistReq is one snapshot write: HSET key field val (plus the session
+// mode tag alongside full bases, so rehydration can refuse a mode
+// mismatch).
+type persistReq struct {
+	key      string
+	field    string
+	val      []byte
+	mode     byte
+	withMode bool
+}
+
+// persist hands a snapshot to the persister without ever blocking the
+// executor. Reports whether the request was accepted; a drop is counted
+// and the caller schedules a re-converging full base.
+func (s *Server) persist(req persistReq) bool {
+	select {
+	case s.persistCh <- req:
+		return true
+	default:
+		s.m.SnapshotsDropped.Add(1)
+		return false
+	}
+}
+
+// persister is the single store writer: it drains the bounded channel and
+// issues each snapshot as one pipelined round trip.
+func (s *Server) persister() {
+	defer close(s.persistDone)
+	for req := range s.persistCh {
+		p := s.db.Pipeline()
+		if req.withMode {
+			p.HSet(req.key, "mode", []byte{req.mode})
+		}
+		p.HSet(req.key, req.field, req.val)
+		if _, err := p.Exec(); err != nil {
+			s.m.SnapshotErrors.Add(1)
+			s.cfg.Logf("armus-serve: persisting %s/%s: %v", req.key, req.field, err)
+			continue
+		}
+		s.m.SnapshotsPersisted.Add(1)
+	}
+}
+
+// maybeSnapshot runs on the executor after each processed batch. With no
+// store configured it is a single nil check — the zero-alloc guarantee of
+// the ingest path (TestExecutorPathZeroAlloc) is unchanged.
+func (ss *session) maybeSnapshot() {
+	if ss.srv.db == nil {
+		return
+	}
+	if ss.batchesSinceSnap++; ss.batchesSinceSnap < ss.srv.cfg.SnapshotEvery {
+		return
+	}
+	ss.batchesSinceSnap = 0
+	ss.persistSnapshot()
+}
+
+// persistSnapshot encodes the session state and hands it to the persister.
+// Executor-owned (the engine and every buffer here are single-writer).
+// Every SnapshotFullEvery-th persist writes a full base; the ones between
+// write a cumulative delta against the retained base copy. curSnap and
+// baseSnap alternate as the SnapshotInto buffer, so steady-state snapshot
+// cost is the encode allocation alone, amortized over SnapshotEvery
+// batches.
+func (ss *session) persistSnapshot() {
+	srv := ss.srv
+	if v := ss.st.Version(); v == ss.lastPersistVer && ss.snapSeq > 0 {
+		return // nothing changed since the last persisted snapshot
+	} else {
+		ss.lastPersistVer = v
+	}
+	ss.snapSeq++
+	ss.curSnap = ss.st.SnapshotInto(ss.curSnap)
+	key := sessionKey(ss.name)
+	var req persistReq
+	if ss.snapSeq == 1 || ss.persistsSinceBase >= srv.cfg.SnapshotFullEvery {
+		req = persistReq{
+			key: key, field: "base",
+			val:  dist.EncodeSnapshot(0, ss.snapSeq, ss.curSnap),
+			mode: byte(ss.mode), withMode: true,
+		}
+		ss.baseSeq = ss.snapSeq
+		// The buffer just snapshotted into becomes the retained base; the
+		// old base becomes the next snapshot's scratch.
+		ss.baseSnap, ss.curSnap = ss.curSnap, ss.baseSnap
+		ss.persistsSinceBase = 0
+	} else {
+		ss.remBuf, ss.upsBuf = dist.DiffSnapshots(ss.baseSnap, ss.curSnap, ss.remBuf[:0], ss.upsBuf[:0])
+		req = persistReq{
+			key: key, field: "delta",
+			val: dist.EncodeDelta(0, ss.baseSeq, ss.snapSeq, ss.remBuf, ss.upsBuf),
+		}
+	}
+	ss.persistsSinceBase++
+	if !srv.persist(req) {
+		// Dropped under backpressure. A dropped delta only leaves the store
+		// stale (cumulative deltas are self-contained), but a dropped base
+		// would orphan every later delta — either way, re-converge by
+		// making the next persist a fresh full base, even if the state does
+		// not change again before then.
+		ss.persistsSinceBase = srv.cfg.SnapshotFullEvery
+		ss.lastPersistVer = 0
+		ss.snapSeq-- // reuse the seq: the store never saw this one
+	}
+}
+
+// fetchSnapshot loads the stored blocked-status set of a session, or nil
+// when the store has none (or holds one for a different mode — a stale
+// tenant reusing the name across modes gets a fresh session, not a
+// refusal). Called on the attach cold path, before the session's executor
+// exists.
+func (s *Server) fetchSnapshot(name string, mode core.Mode) []deps.Blocked {
+	if s.db == nil {
+		return nil
+	}
+	h, err := s.db.HGetAll(sessionKey(name))
+	if err != nil {
+		s.m.SnapshotErrors.Add(1)
+		s.cfg.Logf("armus-serve: session %q: snapshot fetch: %v", name, err)
+		return nil
+	}
+	base, ok := h["base"]
+	if !ok {
+		return nil
+	}
+	if mv, ok := h["mode"]; !ok || len(mv) != 1 || core.Mode(mv[0]) != mode {
+		s.cfg.Logf("armus-serve: session %q: stored snapshot has different mode, starting fresh", name)
+		return nil
+	}
+	_, baseSeq, snap, err := dist.DecodeSnapshot(base)
+	if err != nil {
+		s.m.SnapshotErrors.Add(1)
+		s.cfg.Logf("armus-serve: session %q: corrupt base snapshot: %v", name, err)
+		return nil
+	}
+	if d, ok := h["delta"]; ok {
+		_, dBase, dSeq, removed, upserts, derr := dist.DecodeDelta(d)
+		switch {
+		case derr != nil:
+			s.m.SnapshotErrors.Add(1)
+			s.cfg.Logf("armus-serve: session %q: corrupt delta snapshot (using base alone): %v", name, derr)
+		case dBase == baseSeq && dSeq > baseSeq:
+			snap = dist.ApplyDelta(nil, snap, removed, upserts)
+		default:
+			// A delta for another base: the HGetAll raced a base rewrite.
+			// The base alone is a coherent (just older) snapshot.
+		}
+	}
+	return snap
+}

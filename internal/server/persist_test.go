@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bufio"
+	"testing"
+	"time"
+
+	"armus/internal/clock"
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/server/proto"
+	"armus/internal/store"
+	"armus/internal/trace"
+)
+
+// testStore starts an in-process armus-store for the persistence tests.
+func testStore(t *testing.T) *store.Server {
+	t.Helper()
+	st, err := store.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("store.NewServer: %v", err)
+	}
+	t.Cleanup(st.Close)
+	return st
+}
+
+// readKind reads responses until one of the wanted kind arrives (reports
+// and unrelated answers may interleave).
+func readKind(t *testing.T, br *bufio.Reader, kind proto.RespKind) proto.Response {
+	t.Helper()
+	var r proto.Response
+	for i := 0; i < 16; i++ {
+		if err := proto.ReadResponse(br, &r); err != nil {
+			t.Fatalf("reading response: %v", err)
+		}
+		if r.Kind == kind {
+			return r
+		}
+	}
+	t.Fatalf("no %v response within 16 reads", kind)
+	return r
+}
+
+// TestSnapshotRehydrateAcrossServers is the failover core: state persisted
+// by one server is the state a DIFFERENT server serves after the first one
+// dies. Server A gates a block and persists it; A is killed abruptly;
+// server B — sharing nothing with A but the store — reports the attach as
+// resumed and still refuses the deadlock-closing block.
+func TestSnapshotRehydrateAcrossServers(t *testing.T) {
+	st := testStore(t)
+	sA := testServer(t, Config{StoreAddr: st.Addr(), SnapshotEvery: 1})
+
+	ncA, twA, brA, resumed := rawAttach(t, sA, "failover", core.ModeAvoid)
+	if resumed {
+		t.Fatal("fresh session reported as resumed")
+	}
+	// task1 waits phaser2@1, impedes phaser1@1. Admitted.
+	if err := twA.WriteEvent(trace.Event{Kind: trace.KindBlock,
+		Status: status(1, []deps.Resource{res(2, 1)}, []deps.Reg{reg(1, 0)})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := twA.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r := readKind(t, brA, proto.RespGate); !r.Allowed {
+		t.Fatalf("block of task1 refused: %+v", r)
+	}
+	waitFor(t, func() bool { return sA.Metrics().SnapshotsPersisted >= 1 })
+	ncA.Close()
+	sA.Close() // the kill: abrupt, no drain
+
+	sB := testServer(t, Config{StoreAddr: st.Addr(), SnapshotEvery: 1})
+	ncB, twB, brB, resumed := rawAttach(t, sB, "failover", core.ModeAvoid)
+	defer ncB.Close()
+	if !resumed {
+		t.Fatal("attach on the replacement server did not resume from the snapshot")
+	}
+	if got := sB.Metrics().SessionsRehydrated; got != 1 {
+		t.Fatalf("SessionsRehydrated = %d, want 1", got)
+	}
+	// task2 waits phaser1@1, impedes phaser2@1 — closes the cycle with the
+	// rehydrated task1. Only a server that recovered A's state can refuse.
+	if err := twB.WriteEvent(trace.Event{Kind: trace.KindBlock,
+		Status: status(2, []deps.Resource{res(1, 1)}, []deps.Reg{reg(2, 0)})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := twB.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r := readKind(t, brB, proto.RespGate); r.Allowed {
+		t.Fatal("deadlock-closing block admitted: rehydrated state is incomplete")
+	}
+}
+
+// TestGCLeavesSnapshotIntact is the satellite-4 regression: the lease
+// janitor tombstones ONLY the in-memory executor and engine — the store
+// snapshot must survive, so a client reconnecting AFTER the lease still
+// resumes. Before the fix, a GC-then-reconnect within the snapshot cadence
+// silently restarted the session empty.
+func TestGCLeavesSnapshotIntact(t *testing.T) {
+	st := testStore(t)
+	fc := clock.NewFake()
+	s := testServer(t, Config{
+		StoreAddr: st.Addr(), SnapshotEvery: 1,
+		Lease: 2 * time.Second, SweepPeriod: time.Second, Clock: fc,
+	})
+
+	nc, tw, br, _ := rawAttach(t, s, "leased", core.ModeAvoid)
+	if err := tw.WriteEvent(trace.Event{Kind: trace.KindBlock,
+		Status: status(1, []deps.Resource{res(2, 1)}, []deps.Reg{reg(1, 0)})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r := readKind(t, br, proto.RespGate); !r.Allowed {
+		t.Fatalf("block of task1 refused: %+v", r)
+	}
+	waitFor(t, func() bool { return s.Metrics().SnapshotsPersisted >= 1 })
+	nc.Close()
+	waitFor(t, func() bool { return s.Metrics().ConnsOpen == 0 })
+
+	// Let the lease run out: the janitor collects the in-memory session.
+	for i := 0; i < 10 && s.Metrics().SessionsGCed == 0; i++ {
+		fc.Tick()
+	}
+	if m := s.Metrics(); m.SessionsGCed != 1 || m.SessionsOpen != 0 {
+		t.Fatalf("session not collected after lease: %+v", m)
+	}
+
+	// The reconnect after GC: same server, but the table entry is gone —
+	// only the store snapshot can resume it.
+	nc2, tw2, br2, resumed := rawAttach(t, s, "leased", core.ModeAvoid)
+	defer nc2.Close()
+	if !resumed {
+		t.Fatal("reconnect after GC did not resume: the janitor deleted the snapshot")
+	}
+	if got := s.Metrics().SessionsRehydrated; got < 1 {
+		t.Fatalf("SessionsRehydrated = %d, want >= 1", got)
+	}
+	if err := tw2.WriteEvent(trace.Event{Kind: trace.KindBlock,
+		Status: status(2, []deps.Resource{res(1, 1)}, []deps.Reg{reg(2, 0)})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r := readKind(t, br2, proto.RespGate); r.Allowed {
+		t.Fatal("deadlock-closing block admitted after GC + rehydrate")
+	}
+}
+
+// TestSnapshotModeMismatchStartsFresh: a stored snapshot written under one
+// mode must not seed a session attached under the other — mode changes the
+// engine, so the snapshot is discarded and the session starts fresh.
+func TestSnapshotModeMismatchStartsFresh(t *testing.T) {
+	st := testStore(t)
+	fc := clock.NewFake()
+	s := testServer(t, Config{
+		StoreAddr: st.Addr(), SnapshotEvery: 1,
+		Lease: time.Second, SweepPeriod: time.Second, Clock: fc,
+	})
+
+	nc, tw, br, _ := rawAttach(t, s, "switch", core.ModeAvoid)
+	if err := tw.WriteEvent(trace.Event{Kind: trace.KindBlock,
+		Status: status(1, []deps.Resource{res(2, 1)}, []deps.Reg{reg(1, 0)})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	readKind(t, br, proto.RespGate)
+	waitFor(t, func() bool { return s.Metrics().SnapshotsPersisted >= 1 })
+	nc.Close()
+	waitFor(t, func() bool { return s.Metrics().ConnsOpen == 0 })
+	for i := 0; i < 10 && s.Metrics().SessionsGCed == 0; i++ {
+		fc.Tick()
+	}
+
+	nc2, _, _, resumed := rawAttach(t, s, "switch", core.ModeDetect)
+	defer nc2.Close()
+	if resumed {
+		t.Fatal("detect-mode attach resumed an avoid-mode snapshot")
+	}
+}

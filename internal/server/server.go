@@ -57,7 +57,9 @@ import (
 	"armus/internal/clock"
 	"armus/internal/core"
 	"armus/internal/deps"
+	"armus/internal/fleet"
 	"armus/internal/server/proto"
+	"armus/internal/store"
 )
 
 // Config shapes a Server. The zero value of every field selects a sane
@@ -90,6 +92,28 @@ type Config struct {
 	// Model is the graph model of detection-mode sessions (default
 	// deps.ModelAuto).
 	Model deps.Model
+	// StoreAddr connects the server to an armus-store instance
+	// ("host:port" or "unix:/path") for session-snapshot persistence:
+	// every session periodically persists its blocked-status state there,
+	// and attaching a session absent from the table rehydrates it from the
+	// stored snapshot — the fleet failover path (see persist.go). Empty
+	// disables persistence.
+	StoreAddr string
+	// SnapshotEvery persists a session snapshot every N processed executor
+	// batches (default 64). Lower is fresher at more store traffic; the
+	// client SDK's reconnect resync covers whatever the cadence misses.
+	SnapshotEvery int
+	// SnapshotFullEvery makes every Nth persisted snapshot a full base
+	// (default 16); the ones between are cumulative deltas against it.
+	SnapshotFullEvery int
+	// Fleet and SelfAddr declare the static shard map this server serves
+	// in (the same -fleet list clients route with) and which entry is this
+	// server. Observational only: a session owned by another fleet member
+	// is still served, but counted as foreign — a nonzero foreign counter
+	// means some client routes with a DIFFERENT map, the misconfiguration
+	// that silently splits a fleet.
+	Fleet    []string
+	SelfAddr string
 	// Clock drives the janitor and the shutdown drain (default the real
 	// clock; tests inject clock.NewFake and step it).
 	Clock clock.Clock
@@ -117,6 +141,12 @@ func (c Config) withDefaults() Config {
 	if c.HandshakeTimeout == 0 {
 		c.HandshakeTimeout = 10 * time.Second
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 64
+	}
+	if c.SnapshotFullEvery <= 0 {
+		c.SnapshotFullEvery = 16
+	}
 	if c.Clock == nil {
 		c.Clock = clock.Real{}
 	}
@@ -141,6 +171,13 @@ type Server struct {
 	seed   maphash.Seed
 	shards [sessionShards]sessionShard
 
+	// Session-snapshot persistence (nil/zero without cfg.StoreAddr).
+	db          *store.Client
+	persistCh   chan persistReq
+	persistDone chan struct{}
+	// shardMap is the fleet shard map (nil without cfg.Fleet).
+	shardMap *fleet.Map
+
 	m Metrics
 
 	mu       sync.Mutex
@@ -157,6 +194,13 @@ type Server struct {
 // Close (immediate) when done.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	var shardMap *fleet.Map
+	if len(cfg.Fleet) > 0 {
+		var err error
+		if shardMap, err = fleet.New(cfg.Fleet); err != nil {
+			return nil, err
+		}
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -165,12 +209,24 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		ln:        ln,
 		seed:      maphash.MakeSeed(),
+		shardMap:  shardMap,
 		conns:     make(map[*conn]struct{}),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*session)
+	}
+	if cfg.StoreAddr != "" {
+		s.db = store.Dial(cfg.StoreAddr)
+		if err := s.db.Ping(); err != nil {
+			ln.Close()
+			s.db.Close()
+			return nil, fmt.Errorf("server: store %s: %w", cfg.StoreAddr, err)
+		}
+		s.persistCh = make(chan persistReq, 256)
+		s.persistDone = make(chan struct{})
+		go s.persister()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -206,18 +262,40 @@ func (s *Server) shardFor(name string) *sessionShard {
 }
 
 // attach finds or creates the named session and attaches c to it. The
-// second result reports whether the session already existed (a resume).
+// second result reports whether the connection RESUMES state rather than
+// starting fresh: the session was in the table, or it was rehydrated from
+// its store snapshot (the fleet failover path — this server may never
+// have seen the session before).
 func (s *Server) attach(name string, mode core.Mode, c *conn) (*session, bool, error) {
 	sh := s.shardFor(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	ss, existed := sh.m[name]
+	resumed := existed
 	if !existed {
-		ss = newSession(s, name, mode)
+		if s.shardMap != nil && s.cfg.SelfAddr != "" {
+			if owner := s.shardMap.Owner(name); owner != s.cfg.SelfAddr {
+				s.m.SessionsForeign.Add(1)
+				s.cfg.Logf("armus-serve: session %q is owned by fleet member %s (serving anyway)", name, owner)
+			}
+		}
+		// One store round trip on the cold path, before the executor
+		// exists: the fresh engine is rehydrated before anything can race
+		// it, and the shard lock keeps a concurrent attach of the same
+		// session out.
+		snap := s.fetchSnapshot(name, mode)
+		ss = newSession(s, name, mode, snap)
 		sh.m[name] = ss
 		s.m.SessionsTotal.Add(1)
 		s.m.SessionsOpen.Add(1)
-		s.cfg.Logf("armus-serve: session %q opened (%v)", name, mode)
+		if len(snap) > 0 {
+			resumed = true
+			s.m.SessionsRehydrated.Add(1)
+			s.cfg.Logf("armus-serve: session %q rehydrated from store (%d blocked statuses, %v)",
+				name, len(snap), mode)
+		} else {
+			s.cfg.Logf("armus-serve: session %q opened (%v)", name, mode)
+		}
 	}
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
@@ -228,7 +306,7 @@ func (s *Server) attach(name string, mode core.Mode, c *conn) (*session, bool, e
 	ss.conns[c] = struct{}{}
 	ss.idleTicks = 0
 	c.sess = ss
-	return ss, existed, nil
+	return ss, resumed, nil
 }
 
 // sweeper is the clock-driven janitor: it expires idle sessions after the
@@ -272,6 +350,12 @@ func (s *Server) sweep() {
 				// No connection is attached and attach is excluded by the
 				// shard lock, so no producer can push: the executor drains
 				// whatever is queued and exits.
+				//
+				// The GC tombstones ONLY the executor and its engine — the
+				// session's store snapshot is deliberately left intact, so
+				// a client reconnecting after the lease (or attaching on
+				// another fleet member) still rehydrates and resumes.
+				// Regression: TestGCLeavesSnapshotIntact.
 				ss.shutdownExecutor()
 				ss.closeEngine()
 				s.m.SessionsOpen.Add(-1)
@@ -357,6 +441,14 @@ func (s *Server) Close() {
 			s.m.SessionsOpen.Add(-1)
 		}
 		sh.mu.Unlock()
+	}
+	// Every executor has exited, so nothing can persist anymore: drain the
+	// persister and release the store client. Stored snapshots survive the
+	// server on purpose — they are what a replacement rehydrates from.
+	if s.db != nil {
+		close(s.persistCh)
+		<-s.persistDone
+		s.db.Close()
 	}
 }
 

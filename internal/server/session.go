@@ -51,9 +51,27 @@ type session struct {
 	// Executor-owned.
 	ver           *core.Verifier
 	wasDeadlocked bool
+
+	// Snapshot-persistence bookkeeping (persist.go); executor-owned and
+	// untouched without a configured store. curSnap/baseSnap alternate as
+	// the SnapshotInto buffer: the retained base copy is what cumulative
+	// deltas diff against.
+	batchesSinceSnap  int
+	persistsSinceBase int
+	snapSeq           uint64
+	baseSeq           uint64
+	lastPersistVer    uint64
+	curSnap           []deps.Blocked
+	baseSnap          []deps.Blocked
+	remBuf            []deps.TaskID
+	upsBuf            []deps.Blocked
 }
 
-func newSession(s *Server, name string, mode core.Mode) *session {
+// newSession builds a session, seeds its engine from a store snapshot
+// (snap may be nil — the common fresh-session case) and spawns its
+// executor. Seeding happens strictly before the spawn: the engine is not
+// yet shared, so rehydration needs no synchronization with the executor.
+func newSession(s *Server, name string, mode core.Mode, snap []deps.Blocked) *session {
 	ss := &session{
 		srv:      s,
 		name:     name,
@@ -70,6 +88,22 @@ func newSession(s *Server, name string, mode core.Mode) *session {
 	} else {
 		ss.ver = core.New(core.WithMode(core.ModeObserve), core.WithModel(s.cfg.Model))
 		ss.st = ss.ver.State()
+	}
+	// Rehydrate: Definition 4.1 makes each blocked status a pure function
+	// of its task, so re-applying the snapshot IS the session state the
+	// previous owner had at persist time. The statuses were admitted when
+	// first gated, so they re-enter without re-gating.
+	for i := range snap {
+		ss.st.SetBlocked(snap[i])
+		if ss.blocked != nil {
+			ss.blocked[snap[i].Task] = struct{}{}
+		}
+	}
+	if len(snap) > 0 && ss.ver != nil {
+		// A deadlock that predates the failover was already reported by
+		// the previous owner; start from "was deadlocked" so this server
+		// does not push a duplicate report for the same cycle.
+		ss.wasDeadlocked = ss.ver.CheckNow() != nil
 	}
 	s.m.ExecSpawned.Add(1)
 	go ss.runExecutor()

@@ -1,0 +1,136 @@
+package replay
+
+import (
+	"path/filepath"
+	"testing"
+
+	"armus/internal/core"
+	"armus/internal/deps"
+	"armus/internal/dist"
+	"armus/internal/trace"
+)
+
+// TestSnapshotRehydrateParity is the differential check behind the fleet
+// failover path (internal/server/persist.go): for every corpus trace, the
+// live state is persisted through the dist base+delta codec at each settle
+// point exactly the way the server persists sessions — alternating full
+// bases and cumulative deltas, stale deltas left in place across base
+// rewrites — then decoded and rehydrated into a FRESH verifier, whose
+// verdict must equal the uninterrupted Detect pipeline's verdict at that
+// mutation. Definition 4.1 is the claim under test: a session's verifier
+// state IS its blocked-status set, so snapshot→rehydrate loses nothing
+// verdict-relevant at any point of any recorded execution.
+func TestSnapshotRehydrateParity(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "..", "testdata", "corpus", "*.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no corpus traces found (testdata/corpus is part of the repo)")
+	}
+	const checkEvery = 16 // settle cadence between forced checks
+	const fullEvery = 4   // every Nth persisted snapshot is a full base
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			tr, err := trace.ReadFile(path)
+			if err != nil {
+				t.Fatalf("unreadable: %v", err)
+			}
+			ref, err := ReplayTrace(tr, Detect, Options{})
+			if err != nil {
+				t.Fatalf("reference replay: %v", err)
+			}
+
+			st := deps.NewState()
+			// The server's persist bookkeeping, verbatim: two alternating
+			// snapshot buffers (SnapshotInto reuses inner slices, so the
+			// retained base must be a distinct buffer), a stored base and a
+			// stored delta that is NOT cleared on base rewrites — the decode
+			// side must ignore it by sequence mismatch, the same staleness
+			// guard fetchSnapshot applies.
+			var curSnap, baseSnap, upsBuf []deps.Blocked
+			var remBuf []deps.TaskID
+			var seq, baseSeq uint64
+			var baseBytes, deltaBytes []byte
+			persistsSinceBase := 0
+
+			persist := func() {
+				seq++
+				curSnap = st.SnapshotInto(curSnap)
+				if seq == 1 || persistsSinceBase >= fullEvery {
+					baseBytes = dist.EncodeSnapshot(0, seq, curSnap)
+					baseSeq = seq
+					baseSnap, curSnap = curSnap, baseSnap
+					persistsSinceBase = 0
+				} else {
+					remBuf, upsBuf = dist.DiffSnapshots(baseSnap, curSnap, remBuf[:0], upsBuf[:0])
+					deltaBytes = dist.EncodeDelta(0, baseSeq, seq, remBuf, upsBuf)
+				}
+				persistsSinceBase++
+			}
+
+			rehydrate := func() []deps.Blocked {
+				_, bSeq, snap, err := dist.DecodeSnapshot(baseBytes)
+				if err != nil {
+					t.Fatalf("decode base: %v", err)
+				}
+				if deltaBytes != nil {
+					_, dBase, dSeq, removed, upserts, derr := dist.DecodeDelta(deltaBytes)
+					if derr != nil {
+						t.Fatalf("decode delta: %v", derr)
+					}
+					if dBase == bSeq && dSeq > bSeq {
+						snap = dist.ApplyDelta(nil, snap, removed, upserts)
+					}
+				}
+				return snap
+			}
+
+			mut := 0
+			checked := 0
+			check := func() {
+				persist()
+				v := core.New(core.WithMode(core.ModeObserve))
+				defer v.Close()
+				for _, b := range rehydrate() {
+					v.State().SetBlocked(b)
+				}
+				got := v.CheckNow() != nil
+				if want := ref.Verdicts[mut-1]; got != want {
+					t.Fatalf("mutation %d: rehydrated verifier says deadlocked=%v, uninterrupted pipeline says %v",
+						mut-1, got, want)
+				}
+				checked++
+			}
+
+			for _, ev := range tr.Events {
+				switch ev.Kind {
+				case trace.KindBlock:
+					st.SetBlocked(ev.Status)
+				case trace.KindUnblock:
+					st.Clear(ev.Task)
+				default:
+					continue
+				}
+				mut++
+				// Settle points: every verdict transition, every checkEvery
+				// mutations, and (below) end of trace — the Dist pipeline's
+				// settle schedule.
+				transition := mut >= 2 && ref.Verdicts[mut-1] != ref.Verdicts[mut-2]
+				if transition || mut%checkEvery == 0 {
+					check()
+				}
+			}
+			if mut != ref.Mutations {
+				t.Fatalf("drove %d mutations, reference saw %d", mut, ref.Mutations)
+			}
+			if mut > 0 {
+				check() // end-of-trace settle
+			}
+			if checked == 0 {
+				t.Fatal("no settle points checked")
+			}
+		})
+	}
+}
