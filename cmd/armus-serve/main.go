@@ -44,21 +44,31 @@ func main() {
 		snapFull = flag.Int("snapshot-full-every", 16, "every nth persisted snapshot is a full base (deltas between)")
 		fleetCSV = flag.String("fleet", "", "comma-separated fleet shard map (the same list clients route with)")
 		selfAddr = flag.String("self", "", "this server's entry in -fleet (foreign-session accounting)")
+		segDir   = flag.String("segment-dir", "", "directory for the durable trace archive (empty disables; query with armus-trace query)")
+		segMaxB  = flag.Int64("segment-max-bytes", 0, "rotate a session's segment at this size (0 = 4MiB default)")
+		segMaxA  = flag.Duration("segment-max-age", 0, "rotate/seal a session's segment after this idle age (0 = 5m default)")
+		retainB  = flag.Int64("retain-bytes", 0, "retention: cap total sealed-segment bytes, deleting oldest-first (0 = unlimited)")
+		retainA  = flag.Duration("retain-age", 0, "retention: delete sealed segments older than this (0 = keep forever)")
 		quiet    = flag.Bool("quiet", false, "suppress per-session log lines")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
-		Addr:              *listen,
-		Lease:             *lease,
-		SweepPeriod:       *sweep,
-		DrainGrace:        *grace,
-		MaxBatch:          *batch,
-		QueueLen:          *queue,
-		StoreAddr:         *storeDSN,
-		SnapshotEvery:     *snapEv,
-		SnapshotFullEvery: *snapFull,
-		SelfAddr:          *selfAddr,
+		Addr:               *listen,
+		Lease:              *lease,
+		SweepPeriod:        *sweep,
+		DrainGrace:         *grace,
+		MaxBatch:           *batch,
+		QueueLen:           *queue,
+		StoreAddr:          *storeDSN,
+		SnapshotEvery:      *snapEv,
+		SnapshotFullEvery:  *snapFull,
+		SelfAddr:           *selfAddr,
+		SegmentDir:         *segDir,
+		SegmentMaxBytes:    *segMaxB,
+		SegmentMaxAge:      *segMaxA,
+		SegmentRetainBytes: *retainB,
+		SegmentRetainAge:   *retainA,
 	}
 	if *fleetCSV != "" {
 		cfg.Fleet = strings.Split(*fleetCSV, ",")
@@ -76,6 +86,10 @@ func main() {
 	if *storeDSN != "" {
 		log.Printf("armus-serve: persisting session snapshots to %s (every %d batches, full base every %d)",
 			*storeDSN, *snapEv, *snapFull)
+	}
+	if *segDir != "" {
+		log.Printf("armus-serve: archiving trace segments to %s (retain-bytes %d, retain-age %v)",
+			*segDir, *retainB, *retainA)
 	}
 
 	var hs *http.Server

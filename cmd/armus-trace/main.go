@@ -20,6 +20,12 @@
 //
 //	armus-trace inspect seed31.trace
 //	armus-trace stat testdata/corpus/*.trace
+//
+// Query a server's durable trace archive (armus-serve -segment-dir) and
+// export a session's archived history back into a replayable trace:
+//
+//	armus-trace query -dir /var/lib/armus/segments -session app -verdicts
+//	armus-trace export -dir /var/lib/armus/segments -session app -o app.trace
 package main
 
 import (
@@ -55,6 +61,10 @@ func main() {
 		err = cmdInspect(os.Args[2:])
 	case "stat":
 		err = cmdStat(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -70,11 +80,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: armus-trace <record|replay|inspect|stat> [flags] [file...]
+	fmt.Fprintln(os.Stderr, `usage: armus-trace <record|replay|inspect|stat|query|export> [flags] [file...]
   record  -o FILE (-npb K | -course P | -hpcc B | -sim SEED) [-mode M] [shape flags]
   replay  [-pipeline avoid|detect|dist|all] [-model auto|wfg|sg] [-sites N] [-v] FILE...
   inspect [-n MAX] FILE
-  stat    FILE...`)
+  stat    FILE...
+  query   -dir DIR [-session S] [-since T] [-until T] [-verdicts] [-sessions] [-quarantine]
+  export  -dir DIR -session S -o FILE`)
 }
 
 func parseMode(s string) (core.Mode, error) {

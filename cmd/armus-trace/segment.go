@@ -1,0 +1,151 @@
+package main
+
+// query and export: the read side of the server's durable trace archive
+// (internal/segment). `armus-serve -segment-dir` tees every session's
+// ingress — plus the server's own verdict transitions — into sealed
+// segment files; these subcommands answer "what happened to session X"
+// (query) and turn a session's archived history back into a replayable
+// trace (export), closing the incident loop:
+//
+//	armus-trace query  -dir /var/lib/armus/segments -sessions
+//	armus-trace query  -dir /var/lib/armus/segments -session app -verdicts
+//	armus-trace export -dir /var/lib/armus/segments -session app -o app.trace
+//	armus-trace replay -pipeline all app.trace
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"armus/internal/core"
+	"armus/internal/segment"
+	"armus/internal/trace"
+)
+
+// parseWhen accepts an RFC 3339 timestamp, unix seconds, or a duration
+// meaning "that long ago" (15m -> fifteen minutes before now).
+func parseWhen(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(secs, 0), nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return time.Now().Add(-d), nil
+	}
+	return time.Time{}, fmt.Errorf("cannot parse time %q (RFC3339, unix seconds, or duration-ago like 15m)", s)
+}
+
+func warnStderr(path string, err error) {
+	fmt.Fprintf(os.Stderr, "armus-trace: %s: %v\n", path, err)
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	var (
+		dir      = fs.String("dir", "", "segment archive directory (required)")
+		session  = fs.String("session", "", "only this session")
+		since    = fs.String("since", "", "only segments overlapping [since, until] (RFC3339, unix secs, or duration-ago)")
+		until    = fs.String("until", "", "upper bound of the time window")
+		verdicts = fs.Bool("verdicts", false, "only verdict-bearing segments; decode and print each verdict transition")
+		sessions = fs.Bool("sessions", false, "print only the distinct session names (for scripting)")
+		quar     = fs.Bool("quarantine", false, "rename segments that fail validation to *.quarantined")
+	)
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("query: -dir is required")
+	}
+	f := segment.Filter{Session: *session, VerdictsOnly: *verdicts}
+	var err error
+	if f.Since, err = parseWhen(*since); err != nil {
+		return err
+	}
+	if f.Until, err = parseWhen(*until); err != nil {
+		return err
+	}
+	refs, err := segment.Scan(*dir, *quar, warnStderr)
+	if err != nil {
+		return err
+	}
+	refs = segment.Select(refs, f)
+	if *sessions {
+		last := ""
+		for _, r := range refs { // Scan sorts by (session, seq)
+			if r.Index.Session != last {
+				fmt.Println(r.Index.Session)
+				last = r.Index.Session
+			}
+		}
+		return nil
+	}
+	for _, r := range refs {
+		idx := r.Index
+		span := "-"
+		if idx.Events > 0 {
+			span = fmt.Sprintf("%s .. %s",
+				time.Unix(0, idx.FirstUnixNano).UTC().Format(time.RFC3339),
+				time.Unix(0, idx.LastUnixNano).UTC().Format(time.RFC3339))
+		}
+		fmt.Printf("%s session=%q mode=%v seq=%d events=%d verdicts=%d bytes=%d span=[%s]\n",
+			r.Path, idx.Session, core.Mode(idx.Mode), idx.Seq, idx.Events, idx.Verdicts, r.Size, span)
+		if !*verdicts {
+			continue
+		}
+		s, err := segment.Open(r.Path)
+		if err != nil {
+			warnStderr(r.Path, err)
+			continue
+		}
+		err = s.EachVerdict(func(ord int64, e *trace.Event) error {
+			fmt.Printf("  verdict @%d %v\n", ord, *e)
+			return nil
+		})
+		s.Close()
+		if err != nil {
+			// A block failing its CRC mid-query is reported (and optionally
+			// quarantined), never fatal: the remaining segments still print.
+			warnStderr(r.Path, err)
+			if *quar {
+				fmt.Fprintf(os.Stderr, "armus-trace: quarantined %s\n", segment.Quarantine(r.Path))
+			}
+		}
+	}
+	if len(refs) == 0 {
+		fmt.Println("no matching segments")
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	var (
+		dir     = fs.String("dir", "", "segment archive directory (required)")
+		session = fs.String("session", "", "session to export (required)")
+		out     = fs.String("o", "", "output trace file (required)")
+	)
+	fs.Parse(args)
+	if *dir == "" || *session == "" || *out == "" {
+		return fmt.Errorf("export: -dir, -session and -o are required")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	events, segs, err := segment.Stitch(f, *dir, *session, warnStderr)
+	if err != nil {
+		f.Close()
+		os.Remove(*out)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("armus-trace: exported %d events from %d segments -> %s\n", events, segs, *out)
+	return nil
+}

@@ -18,12 +18,18 @@ import (
 	"time"
 )
 
-// Clock is a source of tickers. It is the only part of the time API the
-// verification loops use.
+// Clock is a source of tickers and of the current time. It is the only
+// part of the time API the verification loops (and the segment archive's
+// timestamps) use.
 type Clock interface {
 	// NewTicker returns a ticker firing every d (for Fake clocks, whenever
 	// Tick is called; d is ignored).
 	NewTicker(d time.Duration) Ticker
+	// Now returns the current time: wall-clock time for Real, the
+	// manually advanced tick time for Fake. Segment indexes (internal/
+	// segment) stamp event batches with it, so tests can pin the archived
+	// time ranges deterministically.
+	Now() time.Time
 }
 
 // Ticker is the delivered-tick side of a ticker.
@@ -41,6 +47,9 @@ type realTicker struct{ t *time.Ticker }
 
 // NewTicker returns a real time.Ticker-backed ticker.
 func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
 
 func (rt realTicker) C() <-chan time.Time { return rt.t.C }
 func (rt realTicker) Stop()               { rt.t.Stop() }
@@ -89,6 +98,15 @@ func (tk *fakeTicker) Stop() {
 	tk.f.mu.Lock()
 	defer tk.f.mu.Unlock()
 	tk.stopped = true
+}
+
+// Now returns the fake's current time: it starts at a fixed epoch and
+// advances one second per Tick, so code stamping data with Clock.Now is
+// fully deterministic under test.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
 }
 
 // WaitTickers blocks until at least n live tickers exist — the start-up

@@ -7,11 +7,13 @@
 //
 // Rendezvous hashing is the minimal shard map for a fleet this size: each
 // (address, session) pair gets a deterministic score and the highest score
-// owns the session. Removing one address re-homes ONLY the sessions it
-// owned (each surviving address keeps its own scores), which is exactly
-// the failover property the store-backed session snapshots rely on: a
-// killed server's sessions spread over the survivors, everyone else stays
-// put.
+// owns the session. Rank's full score ordering is the session's FAILOVER
+// WALK ORDER (DESIGN.md "Fleet & failover"): Rank()[0] is the owner, and a
+// client that cannot reach it dials down the rank until a member accepts.
+// Removing one address re-homes ONLY the sessions it owned (each surviving
+// address keeps its own scores), which is exactly the failover property
+// the store-backed session snapshots rely on: a killed server's sessions
+// spread over the survivors, everyone else stays put.
 package fleet
 
 import (

@@ -321,11 +321,12 @@ func Experiments() map[string]func(Options) ([]*Table, error) {
 		"replay":  one(RunReplay),
 		"serve":   one(RunServe),
 		"fleet":   one(RunFleet),
+		"segment": one(RunSegment),
 	}
 }
 
 // ExperimentNames lists the experiments in the paper's order, then the
 // post-paper additions.
 func ExperimentNames() []string {
-	return []string{"table1", "table2", "fig6", "fig7", "fig8", "fig9", "table3", "explore", "replay", "serve", "fleet"}
+	return []string{"table1", "table2", "fig6", "fig7", "fig8", "fig9", "table3", "explore", "replay", "serve", "fleet", "segment"}
 }

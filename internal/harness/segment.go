@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"armus/internal/client"
+	"armus/internal/core"
+	"armus/internal/segment"
+	"armus/internal/server"
+	"armus/internal/trace"
+	"armus/internal/trace/replay"
+	"armus/internal/workloads/npb"
+)
+
+// segmentClients is the concurrency of the segment-tee experiment: the
+// multi-tenant 64-session shape of the serve experiment's largest point,
+// where tee cost (64 concurrent re-encodes competing for one archive
+// queue) is most visible.
+const segmentClients = 64
+
+// RunSegment measures what the durable trace archive costs and what
+// reading it back costs. Phase one replays the recorded CG trace from 64
+// concurrent avoidance sessions against two identical in-process servers
+// — one with the segment tee disabled, one archiving to a scratch
+// directory — and reports the ingest overhead of archiving (the
+// acceptance bar is <=5%: the tee only encodes frames and does one
+// non-blocking send on the hot path). Phase two queries the archive the
+// tee-enabled run left behind: a footer-index scan of every segment, a
+// verdict query (index-guided partial decode), and a full
+// export-and-replay of one session through every pipeline.
+func RunSegment(o Options) (*Table, error) {
+	o.defaults()
+	rec := trace.NewRecorder()
+	rec.SetLabel(fmt.Sprintf("harness: npb CG (%d tasks, class %d, avoid)", o.TasksPerSite*2, o.Class))
+	v := core.New(core.WithMode(core.ModeAvoid), core.WithTraceRecorder(rec))
+	if _, err := npb.RunCG(v, npb.Config{Tasks: o.TasksPerSite * 2, Class: o.Class}); err != nil {
+		v.Close()
+		return nil, fmt.Errorf("segment: recording CG: %w", err)
+	}
+	v.Close()
+	tr := rec.Trace()
+
+	dir, err := os.MkdirTemp("", "armus-segment-bench-")
+	if err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	t := &Table{
+		Title: fmt.Sprintf("Segment archive: %d-event CG trace x %d sessions, tee off vs on, %d samples",
+			len(tr.Events), segmentClients, o.Samples),
+		Header: []string{"Config", "Events", "Mean", "CI", "Events/s"},
+	}
+
+	var meanOff, meanOn time.Duration
+	for _, cfg := range []struct {
+		name, key, dir string
+	}{
+		{"ingest, tee off", "off", ""},
+		{"ingest, tee on", "on", dir},
+	} {
+		srv, err := server.New(server.Config{
+			Addr: "127.0.0.1:0", Logf: func(string, ...any) {}, SegmentDir: cfg.dir,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("segment: %w", err)
+		}
+		var m Measurement
+		var submitted int
+		for s := 0; s <= o.Samples; s++ {
+			start := time.Now()
+			var wg sync.WaitGroup
+			errs := make([]error, segmentClients)
+			stats := make([]*client.ReplayStats, segmentClients)
+			for i := 0; i < segmentClients; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					c, err := client.Dial(client.Config{
+						Addr:    srv.Addr(),
+						Session: fmt.Sprintf("seg-%s-s%d-c%d", cfg.key, s, i),
+						Mode:    core.ModeAvoid,
+					})
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					defer c.Close()
+					stats[i], errs[i] = client.ReplayTrace(c, tr, client.ReplayOptions{CheckEvery: 32})
+				}(i)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			submitted = 0
+			for i := 0; i < segmentClients; i++ {
+				if errs[i] != nil {
+					srv.Close()
+					return nil, fmt.Errorf("segment/%s: %w", cfg.name, errs[i])
+				}
+				submitted += stats[i].Events
+			}
+			if s == 0 {
+				continue // warm-up discarded
+			}
+			m.Samples = append(m.Samples, elapsed)
+		}
+		srv.Close() // tee on: drains the archive queue and seals every segment
+		if cfg.dir == "" {
+			meanOff = m.Mean()
+		} else {
+			meanOn = m.Mean()
+		}
+		t.Rows = append(t.Rows, []string{
+			cfg.name,
+			fmt.Sprintf("%d", submitted),
+			Dur(m.Mean()), Dur(m.CI95()),
+			fmt.Sprintf("%.0f", float64(submitted)/m.Mean().Seconds()),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"tee overhead", "-", "-", "-", Pct(float64(meanOn-meanOff) / float64(meanOff)),
+	})
+
+	// Phase two: the read path, against everything the tee-on run sealed.
+	start := time.Now()
+	refs, err := segment.Scan(dir, false, nil)
+	scanDur := time.Since(start)
+	if err != nil || len(refs) == 0 {
+		return nil, fmt.Errorf("segment: scan of %s: %v (%d refs)", dir, err, len(refs))
+	}
+	var archived int64
+	for _, r := range refs {
+		archived += r.Index.Events
+	}
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("query: index scan (%d segs)", len(refs)),
+		fmt.Sprintf("%d", archived), Dur(scanDur), "-", "-",
+	})
+
+	start = time.Now()
+	var verdicts int64
+	for _, r := range segment.Select(refs, segment.Filter{VerdictsOnly: true}) {
+		s, err := segment.Open(r.Path)
+		if err != nil {
+			return nil, fmt.Errorf("segment: %w", err)
+		}
+		err = s.EachVerdict(func(int64, *trace.Event) error { verdicts++; return nil })
+		s.Close()
+		if err != nil {
+			return nil, fmt.Errorf("segment: %w", err)
+		}
+	}
+	t.Rows = append(t.Rows, []string{
+		"query: all verdicts",
+		fmt.Sprintf("%d", verdicts), Dur(time.Since(start)), "-", "-",
+	})
+	if verdicts == 0 {
+		return nil, fmt.Errorf("segment: no verdicts archived (checkpoints every 32 mutations should have produced some)")
+	}
+
+	start = time.Now()
+	var buf bytes.Buffer
+	events, _, err := segment.Stitch(&buf, dir, refs[0].Index.Session, nil)
+	if err != nil {
+		return nil, fmt.Errorf("segment: stitch: %w", err)
+	}
+	exported, err := trace.Decode(buf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("segment: exported trace: %w", err)
+	}
+	if _, err := replay.VerifyAll(exported, replay.Options{}, replay.Pipelines()...); err != nil {
+		return nil, fmt.Errorf("segment: exported trace fails replay: %w", err)
+	}
+	t.Rows = append(t.Rows, []string{
+		"export+replay (1 session, 3 pipelines)",
+		fmt.Sprintf("%d", events), Dur(time.Since(start)), "-", "-",
+	})
+
+	t.Fprint(o.Out)
+	return t, nil
+}

@@ -1,0 +1,120 @@
+package segment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"armus/internal/trace"
+)
+
+// Filter selects segments from a Scan by session, time range, and
+// verdict presence — evaluated against the footer index only, so a
+// non-matching segment costs one index read and zero decompression.
+type Filter struct {
+	// Session, when non-empty, matches exactly.
+	Session string
+	// Since/Until bound the segment's event time range; zero values are
+	// unbounded. A segment matches when [First, Last] overlaps
+	// [Since, Until].
+	Since, Until time.Time
+	// VerdictsOnly keeps only segments holding at least one verdict
+	// event (gate rejection, detector report, or client checkpoint).
+	VerdictsOnly bool
+}
+
+// Match reports whether idx passes the filter.
+func (f Filter) Match(idx *Index) bool {
+	if f.Session != "" && idx.Session != f.Session {
+		return false
+	}
+	if f.VerdictsOnly && idx.Verdicts == 0 {
+		return false
+	}
+	if idx.Events > 0 {
+		if !f.Since.IsZero() && idx.LastUnixNano < f.Since.UnixNano() {
+			return false
+		}
+		if !f.Until.IsZero() && idx.FirstUnixNano > f.Until.UnixNano() {
+			return false
+		}
+	}
+	return true
+}
+
+// Select applies f to scanned refs, preserving (session, seq) order.
+func Select(refs []Ref, f Filter) []Ref {
+	var out []Ref
+	for _, r := range refs {
+		if f.Match(r.Index) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Stitch concatenates the session's archived segments from dir, in
+// sequence order, into a single valid trace stream on w — header from
+// the first segment's index, every event frame spliced verbatim, CRC
+// footer at the end — so the export feeds `armus-trace replay` and the
+// corpus tooling unchanged. Segments that fail validation are skipped
+// via warn; a sequence gap (retention already reclaimed older segments)
+// is reported through warn too, and the remaining suffix still replays:
+// blocked statuses are pure functions of their task (Def. 4.1), so a
+// later snapshot of the stream is itself a consistent stream.
+func Stitch(w io.Writer, dir, session string, warn func(path string, err error)) (events int64, segs int, err error) {
+	refs, err := Scan(dir, false, warn)
+	if err != nil {
+		return 0, 0, err
+	}
+	refs = Select(refs, Filter{Session: session})
+	if len(refs) == 0 {
+		return 0, 0, fmt.Errorf("segment: no sealed segments for session %q in %s", session, dir)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Index.Seq < refs[j].Index.Seq })
+	mode := refs[0].Index.Mode
+	label := fmt.Sprintf("segment-export %s", session)
+	tw, err := trace.NewWriter(w, label, mode)
+	if err != nil {
+		return 0, 0, err
+	}
+	prevSeq := refs[0].Index.Seq - 1
+	for _, r := range refs {
+		if r.Index.Mode != mode {
+			if warn != nil {
+				warn(r.Path, fmt.Errorf("segment: mode %d != export mode %d; skipped", r.Index.Mode, mode))
+			}
+			continue
+		}
+		if r.Index.Seq != prevSeq+1 && warn != nil {
+			warn(r.Path, fmt.Errorf("segment: sequence gap (%d -> %d); older segments reclaimed or lost", prevSeq, r.Index.Seq))
+		}
+		prevSeq = r.Index.Seq
+		s, err := Open(r.Path)
+		if err != nil {
+			if warn != nil {
+				warn(r.Path, err)
+			}
+			continue
+		}
+		for i := range s.Index.Blocks {
+			raw, err := s.Block(i)
+			if err != nil {
+				s.Close()
+				return events, segs, err
+			}
+			if err := tw.WriteRawFrames(raw); err != nil {
+				s.Close()
+				return events, segs, err
+			}
+		}
+		events += s.Index.Events
+		segs++
+		s.Close()
+	}
+	if err := tw.Close(); err != nil {
+		return events, segs, err
+	}
+	return events, segs, nil
+}

@@ -1,0 +1,492 @@
+package segment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"armus/internal/deps"
+	"armus/internal/trace"
+	"armus/internal/trace/replay"
+)
+
+// synthEvents produces a deterministic mix of every event kind.
+func synthEvents(n int) []trace.Event {
+	evs := make([]trace.Event, 0, n)
+	for i := 0; len(evs) < n; i++ {
+		t := deps.TaskID(i%5 + 1)
+		p := deps.PhaserID(i%3 + 1)
+		switch i % 6 {
+		case 0:
+			evs = append(evs, trace.Event{Kind: trace.KindRegister, Task: t, Phaser: p, Phase: int64(i), Mode: 1})
+		case 1:
+			evs = append(evs, trace.Event{Kind: trace.KindArrive, Task: t, Phaser: p, Phase: int64(i)})
+		case 2:
+			evs = append(evs, trace.Event{Kind: trace.KindBlock, Task: t, Status: deps.Blocked{
+				Task:     t,
+				WaitsFor: []deps.Resource{{Phaser: p, Phase: int64(i)}},
+				Regs:     []deps.Reg{{Phaser: p, Phase: int64(i)}},
+			}})
+		case 3:
+			evs = append(evs, trace.Event{Kind: trace.KindUnblock, Task: t})
+		case 4:
+			evs = append(evs, trace.Event{Kind: trace.KindDrop, Task: t, Phaser: p})
+		case 5:
+			evs = append(evs, trace.Event{Kind: trace.KindVerdict, Verdict: trace.VerdictReported,
+				Tasks: []deps.TaskID{t}, Resources: []deps.Resource{{Phaser: p, Phase: int64(i)}}})
+		}
+	}
+	return evs
+}
+
+// frameBatch encodes events into tee frames plus batch-relative verdict
+// indexes, as the server-side tee does.
+func frameBatch(t *testing.T, evs []trace.Event) (frames []byte, verdicts []int) {
+	t.Helper()
+	for i, e := range evs {
+		var err error
+		if frames, err = trace.AppendEventFrame(frames, e); err != nil {
+			t.Fatalf("AppendEventFrame: %v", err)
+		}
+		if e.Kind == trace.KindVerdict {
+			verdicts = append(verdicts, i)
+		}
+	}
+	return frames, verdicts
+}
+
+// normEvent deep-copies e with empty slices normalised to nil so reused
+// decode buffers compare equal to freshly built events.
+func normEvent(e *trace.Event) trace.Event {
+	c := *e
+	norm := func(n int) bool { return n > 0 }
+	c.Status.WaitsFor = nil
+	if norm(len(e.Status.WaitsFor)) {
+		c.Status.WaitsFor = append([]deps.Resource(nil), e.Status.WaitsFor...)
+	}
+	c.Status.Regs = nil
+	if norm(len(e.Status.Regs)) {
+		c.Status.Regs = append([]deps.Reg(nil), e.Status.Regs...)
+	}
+	c.Tasks = nil
+	if norm(len(e.Tasks)) {
+		c.Tasks = append([]deps.TaskID(nil), e.Tasks...)
+	}
+	c.Resources = nil
+	if norm(len(e.Resources)) {
+		c.Resources = append([]deps.Resource(nil), e.Resources...)
+	}
+	return c
+}
+
+// teeAll appends evs to w in batches of batchLen, one second apart
+// starting at base, and returns the expected verdict ordinals.
+func teeAll(t *testing.T, w *Writer, evs []trace.Event, batchLen int, base time.Time) []int64 {
+	t.Helper()
+	var verdictOrds []int64
+	for i := 0; i < len(evs); i += batchLen {
+		j := i + batchLen
+		if j > len(evs) {
+			j = len(evs)
+		}
+		frames, rel := frameBatch(t, evs[i:j])
+		for _, r := range rel {
+			verdictOrds = append(verdictOrds, int64(i+r))
+		}
+		now := base.Add(time.Duration(i/batchLen) * time.Second)
+		if err := w.Append(frames, j-i, rel, now); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	return verdictOrds
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(WriterConfig{Dir: dir, Session: "app/1", Mode: 2, BlockBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := synthEvents(100)
+	base := time.Unix(5000, 0)
+	wantVerdicts := teeAll(t, w, evs, 7, base)
+	if err := w.Seal(base.Add(time.Hour)); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+
+	refs, err := Scan(dir, false, nil)
+	if err != nil || len(refs) != 1 {
+		t.Fatalf("Scan: %v, %d refs", err, len(refs))
+	}
+	idx := refs[0].Index
+	if idx.Session != "app/1" || idx.Mode != 2 || idx.Seq != 1 {
+		t.Fatalf("index identity: %+v", idx)
+	}
+	if idx.Events != 100 || idx.Verdicts != int64(len(wantVerdicts)) || idx.VerdictsTruncated {
+		t.Fatalf("index counts: events=%d verdicts=%d", idx.Events, idx.Verdicts)
+	}
+	if !reflect.DeepEqual(idx.VerdictOrdinals, wantVerdicts) {
+		t.Fatalf("verdict ordinals %v != %v", idx.VerdictOrdinals, wantVerdicts)
+	}
+	if idx.FirstUnixNano != base.UnixNano() || idx.LastUnixNano <= idx.FirstUnixNano {
+		t.Fatalf("time range [%d, %d]", idx.FirstUnixNano, idx.LastUnixNano)
+	}
+	if len(idx.Blocks) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(idx.Blocks))
+	}
+
+	s, err := Open(refs[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	var got []trace.Event
+	if err := s.Events(func(ord int64, e *trace.Event) error {
+		if ord != int64(len(got)) {
+			t.Fatalf("ordinal %d at position %d", ord, len(got))
+		}
+		got = append(got, normEvent(e))
+		return nil
+	}); err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if want := normEvent(&evs[i]); !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], want)
+		}
+	}
+
+	var verdictOrds []int64
+	if err := s.EachVerdict(func(ord int64, e *trace.Event) error {
+		if e.Kind != trace.KindVerdict {
+			t.Fatalf("EachVerdict yielded %v", e.Kind)
+		}
+		verdictOrds = append(verdictOrds, ord)
+		return nil
+	}); err != nil {
+		t.Fatalf("EachVerdict: %v", err)
+	}
+	if !reflect.DeepEqual(verdictOrds, wantVerdicts) {
+		t.Fatalf("EachVerdict ordinals %v != %v", verdictOrds, wantVerdicts)
+	}
+}
+
+// TestRotationBetweenEvents forces size rotation with a tiny MaxBytes
+// and checks every sealed segment decodes independently — i.e. the
+// rotation boundary always falls between events, never inside one.
+func TestRotationBetweenEvents(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(WriterConfig{Dir: dir, Session: "rot", Mode: 1, MaxBytes: 200, BlockBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := synthEvents(300)
+	base := time.Unix(9000, 0)
+	teeAll(t, w, evs, 5, base)
+	if err := w.Seal(base.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := Scan(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) < 3 {
+		t.Fatalf("expected several rotated segments, got %d", len(refs))
+	}
+	var total int64
+	var got []trace.Event
+	for i, r := range refs {
+		if r.Index.Seq != uint64(i+1) {
+			t.Fatalf("segment %d has seq %d", i, r.Index.Seq)
+		}
+		s, err := Open(r.Path)
+		if err != nil {
+			t.Fatalf("open rotated segment: %v", err)
+		}
+		if err := s.Events(func(_ int64, e *trace.Event) error {
+			got = append(got, normEvent(e))
+			return nil
+		}); err != nil {
+			t.Fatalf("decode rotated segment: %v", err)
+		}
+		total += r.Index.Events
+		s.Close()
+	}
+	if total != int64(len(evs)) || len(got) != len(evs) {
+		t.Fatalf("rotated segments hold %d events, want %d", total, len(evs))
+	}
+	for i := range evs {
+		if want := normEvent(&evs[i]); !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("event %d diverged across rotation", i)
+		}
+	}
+}
+
+func sealOne(t *testing.T, dir, session string, n int) string {
+	t.Helper()
+	w, err := NewWriter(WriterConfig{Dir: dir, Session: session, Mode: 1, BlockBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	teeAll(t, w, synthEvents(n), 9, time.Unix(7000, 0))
+	if err := w.Seal(time.Unix(8000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := Scan(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		if r.Index.Session == session {
+			return r.Path
+		}
+	}
+	t.Fatalf("no sealed segment for %s", session)
+	return ""
+}
+
+// TestTruncatedQuarantined: a segment cut mid-block has no valid
+// trailer; Open must fail cleanly and a quarantining Scan renames it.
+func TestTruncatedQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	path := sealOne(t, dir, "trunc", 80)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)*3/5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a truncated segment")
+	}
+	warned := 0
+	refs, err := Scan(dir, true, func(string, error) { warned++ })
+	if err != nil || len(refs) != 0 || warned != 1 {
+		t.Fatalf("Scan: %v, %d refs, %d warnings", err, len(refs), warned)
+	}
+	if _, err := os.Stat(path + ".quarantined"); err != nil {
+		t.Fatalf("not quarantined: %v", err)
+	}
+	// Quarantined files are invisible to later scans.
+	if refs, _ := Scan(dir, true, nil); len(refs) != 0 {
+		t.Fatalf("quarantined file still scanned")
+	}
+}
+
+// TestCorruptBlockDetected: damage inside a compressed block leaves the
+// index valid (Open succeeds) but Verify and block reads must detect it
+// as an error — never a panic, never silently wrong data.
+func TestCorruptBlockDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := sealOne(t, dir, "crc", 80)
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := s.Index.Blocks[0].Offset
+	s.Close()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err = Open(path)
+	if err != nil {
+		t.Fatalf("index should still parse: %v", err)
+	}
+	defer s.Close()
+	if err := s.Verify(); err == nil {
+		t.Fatal("Verify missed flipped data byte")
+	}
+	if err := s.Events(func(int64, *trace.Event) error { return nil }); err == nil {
+		t.Fatal("Events read a corrupt block")
+	}
+	if !strings.Contains(Quarantine(path), ".quarantined") {
+		t.Fatal("Quarantine did not rename")
+	}
+	if _, err := os.Stat(path + ".quarantined"); err != nil {
+		t.Fatalf("not quarantined: %v", err)
+	}
+}
+
+// TestCorruptIndexQuarantined: damage inside the footer index itself is
+// caught by the index CRC before parsing.
+func TestCorruptIndexQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	path := sealOne(t, dir, "idx", 40)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 bytes back from EOF lands inside the index payload.
+	off := fi.Size() - trailerLen - 4
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x55
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("expected index CRC error, got %v", err)
+	}
+	if refs, _ := Scan(dir, true, nil); len(refs) != 0 {
+		t.Fatal("corrupt-index segment not skipped")
+	}
+	if _, err := os.Stat(path + ".quarantined"); err != nil {
+		t.Fatalf("not quarantined: %v", err)
+	}
+}
+
+func TestCrashLeftoverActiveQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	leftover := filepath.Join(dir, "boot-00000003.seg.active")
+	if err := os.WriteFile(leftover, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(WriterConfig{Dir: dir, Session: "boot", Mode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(leftover + ".quarantined"); err != nil {
+		t.Fatalf("leftover active not quarantined: %v", err)
+	}
+	teeAll(t, w, synthEvents(10), 10, time.Unix(100, 0))
+	if err := w.Seal(time.Unix(101, 0)); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := Scan(dir, false, nil)
+	if err != nil || len(refs) != 1 {
+		t.Fatalf("Scan: %v, %d refs", err, len(refs))
+	}
+	if refs[0].Index.Seq != 4 {
+		t.Fatalf("sequence did not resume past leftover: seq=%d", refs[0].Index.Seq)
+	}
+}
+
+func TestFilterAndSelect(t *testing.T) {
+	dir := t.TempDir()
+	sealOne(t, dir, "a", 30)
+	sealOne(t, dir, "b", 30)
+	refs, err := Scan(dir, false, nil)
+	if err != nil || len(refs) != 2 {
+		t.Fatalf("Scan: %v, %d", err, len(refs))
+	}
+	if got := Select(refs, Filter{Session: "a"}); len(got) != 1 || got[0].Index.Session != "a" {
+		t.Fatalf("session filter: %v", got)
+	}
+	if got := Select(refs, Filter{VerdictsOnly: true}); len(got) != 2 {
+		t.Fatalf("verdict filter should keep both (synth events include verdicts): %d", len(got))
+	}
+	// synth batches start at t=7000s; a window ending before that matches nothing.
+	if got := Select(refs, Filter{Until: time.Unix(6999, 0)}); len(got) != 0 {
+		t.Fatalf("until filter: %d", len(got))
+	}
+	if got := Select(refs, Filter{Since: time.Unix(6999, 0)}); len(got) != 2 {
+		t.Fatalf("since filter: %d", len(got))
+	}
+}
+
+func TestEscapeSession(t *testing.T) {
+	cases := map[string]string{
+		"plain-name_1.0": "plain-name_1.0",
+		"a/b c%d":        "a%2Fb%20c%25d",
+	}
+	for in, want := range cases {
+		if got := EscapeSession(in); got != want {
+			t.Fatalf("EscapeSession(%q) = %q, want %q", in, got, want)
+		}
+	}
+	long := strings.Repeat("x", 200) + "!"
+	esc := EscapeSession(long)
+	if len(esc) > 100 || esc == EscapeSession(strings.Repeat("x", 200)+"?") {
+		t.Fatalf("long-name escaping not capped or not distinct: %q", esc)
+	}
+}
+
+// TestStitchReplayParity tees a real corpus trace through rotating
+// segments, stitches them back, and asserts the export replays through
+// all three pipelines with the exact verdict sequence of the original —
+// the acceptance bar for `armus-trace export`.
+func TestStitchReplayParity(t *testing.T) {
+	orig, err := trace.ReadFile("../../testdata/corpus/npb-cg-avoid.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	w, err := NewWriter(WriterConfig{Dir: dir, Session: "npb-cg", Mode: orig.Mode, MaxBytes: 512, BlockBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	teeAll(t, w, orig.Events, 13, time.Unix(4000, 0))
+	if err := w.Seal(time.Unix(4100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if refs, _ := Scan(dir, false, nil); len(refs) < 2 {
+		t.Fatalf("want rotation across segments, got %d", len(refs))
+	}
+
+	var buf bytes.Buffer
+	events, segs, err := Stitch(&buf, dir, "npb-cg", func(p string, err error) {
+		t.Fatalf("stitch warning for %s: %v", p, err)
+	})
+	if err != nil {
+		t.Fatalf("Stitch: %v", err)
+	}
+	if events != int64(len(orig.Events)) || segs < 2 {
+		t.Fatalf("stitched %d events from %d segments, want %d", events, segs, len(orig.Events))
+	}
+	out, err := trace.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("stitched stream does not decode: %v", err)
+	}
+	if out.Mode != orig.Mode || len(out.Events) != len(orig.Events) {
+		t.Fatalf("stitched header/events mismatch: mode %d/%d, %d/%d events",
+			out.Mode, orig.Mode, len(out.Events), len(orig.Events))
+	}
+	for i := range orig.Events {
+		if a, b := normEvent(&orig.Events[i]), normEvent(&out.Events[i]); !reflect.DeepEqual(a, b) {
+			t.Fatalf("event %d differs after stitch", i)
+		}
+	}
+
+	want, err := replay.VerifyAll(orig, replay.Options{}, replay.Pipelines()...)
+	if err != nil {
+		t.Fatalf("replay original: %v", err)
+	}
+	got, err := replay.VerifyAll(out, replay.Options{}, replay.Pipelines()...)
+	if err != nil {
+		t.Fatalf("replay stitched: %v", err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i].Verdicts, got[i].Verdicts) {
+			t.Fatalf("pipeline %v verdicts diverge between original and stitched replay", want[i].Pipeline)
+		}
+	}
+}

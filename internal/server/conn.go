@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"armus/internal/core"
+	"armus/internal/segment"
 	"armus/internal/server/proto"
 	"armus/internal/trace"
 )
@@ -51,6 +52,11 @@ type conn struct {
 	done       chan struct{} // closed by the handler when the read side ends
 	writerDone chan struct{}
 
+	// Tee coalescing (read-loop local): pending archive frames for the
+	// segment store, flushed by size/age in tee() and at read-loop end.
+	teePending *segment.Batch
+	teeSince   time.Time
+
 	subscribe bool
 	slow      atomic.Bool
 	// checkSeq numbers this connection's checkpoints; only the session
@@ -82,10 +88,11 @@ func (s *Server) handleConn(nc net.Conn) {
 
 	go c.writeLoop()
 	defer func() {
-		// Read side done: wait for the executor to finish this
-		// connection's in-flight batches (their responses land in the
-		// coalesce buffer), let the writer flush everything, then drop the
-		// socket and deregister.
+		// Read side done: archive the tail of the tee's pending frames,
+		// wait for the executor to finish this connection's in-flight
+		// batches (their responses land in the coalesce buffer), let the
+		// writer flush everything, then drop the socket and deregister.
+		c.teeFlush()
 		c.awaitApplied()
 		close(c.done)
 		<-c.writerDone
@@ -151,6 +158,9 @@ func (s *Server) handleConn(nc net.Conn) {
 			}
 		}
 		if b.n > 0 {
+			if s.seg != nil {
+				c.tee(sess, b)
+			}
 			c.pushed++
 			sess.enqueue(b)
 		} else {

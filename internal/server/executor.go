@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"armus/internal/core"
+	"armus/internal/deps"
 	"armus/internal/server/proto"
 	"armus/internal/trace"
 )
@@ -169,6 +170,9 @@ func (ss *session) gate(c *conn, e *trace.Event) {
 	}
 	ss.st.Clear(e.Status.Task)
 	ss.srv.m.GateRejected.Add(1)
+	if ss.srv.seg != nil {
+		ss.teeVerdict(trace.VerdictRejected, e.Status, cyc.Resources)
+	}
 	// cyc is freshly allocated by the deadlock path; handing its slices
 	// to the coalesce buffer is safe.
 	c.send(proto.Response{
@@ -203,6 +207,9 @@ func (ss *session) report() {
 	d := derr != nil
 	if d && !ss.wasDeadlocked {
 		ss.srv.m.Reports.Add(1)
+		if ss.srv.seg != nil {
+			ss.teeVerdict(trace.VerdictReported, deps.Blocked{}, derr.Cycle.Resources)
+		}
 		ss.srv.cfg.Logf("armus-serve: session %q deadlocked: %v", ss.name, derr)
 		ss.mu.Lock()
 		for c := range ss.conns {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+
+	"armus/internal/segment"
 )
 
 // batchBucketBounds are the upper bounds (inclusive, in events) of the
@@ -81,6 +83,9 @@ type MetricsSnapshot struct {
 	// (per-bucket counts, not cumulative; last bucket is +Inf).
 	BatchBuckets [batchBucketCount]int64
 	BatchSum     int64
+	// Segment snapshots the durable trace archive's counters (all zero
+	// when archiving is disabled).
+	Segment segment.MetricsSnapshot
 }
 
 // Metrics returns a snapshot of the counters plus the summed egress and
@@ -112,6 +117,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 	for i := range s.m.batchBuckets {
 		snap.BatchBuckets[i] = s.m.batchBuckets[i].Load()
 	}
+	snap.Segment = s.segMetrics()
 	s.mu.Lock()
 	for c := range s.conns {
 		snap.QueueDepth += int64(c.queueDepth())
@@ -175,6 +181,20 @@ func (s *Server) Handler() http.Handler {
 			{"armus_serve_slow_disconnects_total", "counter", "Connections dropped for an overflowing coalesce buffer.", snap.SlowDisconnects},
 			{"armus_serve_queue_depth", "gauge", "Summed undelivered responses over live connections.", snap.QueueDepth},
 			{"armus_serve_exec_queue_depth", "gauge", "Summed queued executor batches over open sessions.", snap.ExecQueueDepth},
+			{"armus_serve_segment_batches_total", "counter", "Event batches accepted by the segment tee.", snap.Segment.Batches},
+			{"armus_serve_segment_batches_dropped_total", "counter", "Tee batches dropped on a full archive queue.", snap.Segment.BatchesDropped},
+			{"armus_serve_segment_events_total", "counter", "Events archived into trace segments.", snap.Segment.Events},
+			{"armus_serve_segment_verdicts_total", "counter", "Verdict events archived (checkpoints, rejections, reports).", snap.Segment.VerdictsArchived},
+			{"armus_serve_segment_bytes_written_total", "counter", "Compressed bytes written to segment files.", snap.Segment.BytesWritten},
+			{"armus_serve_segment_sealed_total", "counter", "Segments sealed (rotation, idle age, session GC, shutdown).", snap.Segment.Sealed},
+			{"armus_serve_segment_active_writers", "gauge", "Sessions with an open (active) segment writer.", snap.Segment.ActiveWriters},
+			{"armus_serve_segment_errors_total", "counter", "Segment write, seal or scan failures.", snap.Segment.Errors},
+			{"armus_serve_segment_quarantined_total", "counter", "Segment files quarantined (corrupt or crash leftovers).", snap.Segment.QuarantinedFiles},
+			{"armus_serve_segment_sessions_quiesced_total", "counter", "Segment writers sealed for idleness or session GC.", snap.Segment.SessionsQuiesced},
+			{"armus_serve_segment_retention_segments_total", "counter", "Segments reclaimed by the retention manager.", snap.Segment.RetainedSegments},
+			{"armus_serve_segment_retention_bytes_total", "counter", "Bytes reclaimed by the retention manager.", snap.Segment.RetainedBytes},
+			{"armus_serve_segment_retention_sweeps_total", "counter", "Retention/idle-seal sweep passes completed.", snap.Segment.RetentionSweeps},
+			{"armus_serve_segment_oldest_sealed_nanos", "gauge", "Seal time (UnixNano) of the oldest retained segment.", snap.Segment.OldestSealedNanos},
 		} {
 			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.v)
 		}

@@ -28,6 +28,13 @@ import (
 // base/delta write order, which is what keeps a concurrently rehydrating
 // reader coherent: a delta whose baseSeq does not match the stored base is
 // simply ignored.
+//
+// Lease-GC and shutdown never delete store keys: an expired session's
+// snapshot is exactly what failover needs to still be there. The
+// bounded-channel/single-writer discipline here is shared with the
+// segment tee (tee.go, internal/segment) — both are best-effort side
+// channels that may drop work (counted) but can never stall a verdict.
+// DESIGN.md "Fleet & failover" is the end-to-end story.
 
 // sessionKeyPrefix namespaces session snapshots in the shared store.
 const sessionKeyPrefix = "armus:sess:"

@@ -42,6 +42,16 @@
 //     the injectable internal/clock garbage-collects them. Shutdown
 //     drains on the same clock: stop accepting, say goodbye, give
 //     connections a grace to finish, then close.
+//   - With Config.SegmentDir set, every read loop additionally tees its
+//     decoded batches into the durable trace archive (internal/segment,
+//     tee.go) and executors append the server's verdict transitions —
+//     making every session's ingest stream queryable and replayable
+//     after the fact. The tee never blocks verification; see
+//     docs/SEGMENT_FORMAT.md and docs/OPERATIONS.md.
+//   - With Config.Store set, sessions periodically snapshot their
+//     blocked-status state into the shared store (persist.go) and
+//     fleet members rehydrate a dead member's sessions from it — the
+//     failover path described under "Fleet & failover" in DESIGN.md.
 package server
 
 import (
@@ -58,6 +68,7 @@ import (
 	"armus/internal/core"
 	"armus/internal/deps"
 	"armus/internal/fleet"
+	"armus/internal/segment"
 	"armus/internal/server/proto"
 	"armus/internal/store"
 )
@@ -114,6 +125,26 @@ type Config struct {
 	// that silently splits a fleet.
 	Fleet    []string
 	SelfAddr string
+	// SegmentDir enables the durable trace archive (internal/segment):
+	// every accepted connection's decoded event batches — plus the
+	// server's own verdict transitions (gate rejections, deadlock
+	// reports) — are teed off the executor hot path into per-session
+	// rotating, compressed, CRC-sealed segment files under this
+	// directory, queryable with `armus-trace query` and exportable back
+	// into replayable traces with `armus-trace export`. The tee follows
+	// the persister discipline: bounded channel, single writer goroutine,
+	// drops counted, never blocks ingestion. Empty disables archiving.
+	SegmentDir string
+	// SegmentMaxBytes / SegmentMaxAge rotate (seal) a session's current
+	// segment once it reaches this size / age (defaults 4 MiB / 5m).
+	SegmentMaxBytes int64
+	SegmentMaxAge   time.Duration
+	// SegmentRetainBytes / SegmentRetainAge bound the archive: the
+	// retention sweep deletes sealed segments oldest-first while the
+	// directory exceeds the byte budget, and deletes any sealed segment
+	// older than the age. Zero disables that policy (keep everything).
+	SegmentRetainBytes int64
+	SegmentRetainAge   time.Duration
 	// Clock drives the janitor and the shutdown drain (default the real
 	// clock; tests inject clock.NewFake and step it).
 	Clock clock.Clock
@@ -177,6 +208,8 @@ type Server struct {
 	persistDone chan struct{}
 	// shardMap is the fleet shard map (nil without cfg.Fleet).
 	shardMap *fleet.Map
+	// seg is the durable trace archive (nil without cfg.SegmentDir).
+	seg *segment.Store
 
 	m Metrics
 
@@ -217,11 +250,30 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*session)
 	}
+	if cfg.SegmentDir != "" {
+		seg, err := segment.NewStore(segment.Config{
+			Dir:         cfg.SegmentDir,
+			MaxBytes:    cfg.SegmentMaxBytes,
+			MaxAge:      cfg.SegmentMaxAge,
+			RetainBytes: cfg.SegmentRetainBytes,
+			RetainAge:   cfg.SegmentRetainAge,
+			Clock:       cfg.Clock,
+			Logf:        cfg.Logf,
+		})
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.seg = seg
+	}
 	if cfg.StoreAddr != "" {
 		s.db = store.Dial(cfg.StoreAddr)
 		if err := s.db.Ping(); err != nil {
 			ln.Close()
 			s.db.Close()
+			if s.seg != nil {
+				s.seg.Close()
+			}
 			return nil, fmt.Errorf("server: store %s: %w", cfg.StoreAddr, err)
 		}
 		s.persistCh = make(chan persistReq, 256)
@@ -360,6 +412,13 @@ func (s *Server) sweep() {
 				ss.closeEngine()
 				s.m.SessionsOpen.Add(-1)
 				s.m.SessionsGCed.Add(1)
+				// Seal the session's archive segment now that its state is
+				// gone: a reclaimed session's history becomes queryable
+				// immediately. Best effort — the archive's own idle sweep
+				// covers a dropped request.
+				if s.seg != nil {
+					s.seg.SealSession(name)
+				}
 				s.cfg.Logf("armus-serve: session %q expired (lease %v)", name, s.cfg.Lease)
 			}
 		}
@@ -449,6 +508,13 @@ func (s *Server) Close() {
 		close(s.persistCh)
 		<-s.persistDone
 		s.db.Close()
+	}
+	// Read loops (wg), the sweeper (sweepDone) and every executor are
+	// stopped above, so no tee producer survives: drain the archive queue
+	// and seal every open segment. Sealed segments outlive the server on
+	// purpose — they are what an operator queries after an incident.
+	if s.seg != nil {
+		s.seg.Close()
 	}
 }
 

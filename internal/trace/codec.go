@@ -141,6 +141,72 @@ func (tw *Writer) WriteEvent(e Event) error {
 	return tw.writeFrame(payload)
 }
 
+// AppendEventFrame appends the full wire framing of e — uvarint length
+// prefix plus payload, exactly the bytes WriteEvent would emit — to buf and
+// returns the extended slice. It is the building block of the server-side
+// segment tee (internal/segment): frames accumulated this way are
+// self-contained copies, safe to hand to another goroutine, and a run of
+// them is byte-compatible with the event region of a trace stream, so
+// WriteRawFrames can splice them back into a valid trace.
+func AppendEventFrame(buf []byte, e Event) ([]byte, error) {
+	start := len(buf)
+	payload, err := appendEvent(buf, e)
+	if err != nil {
+		return buf[:start], err
+	}
+	n := len(payload) - start
+	if n > maxTraceItems {
+		return buf[:start], fmt.Errorf("trace: frame of %d bytes exceeds limit", n)
+	}
+	var pfx [binary.MaxVarintLen64]byte
+	pl := binary.PutUvarint(pfx[:], uint64(n))
+	// Grow by the prefix length, then shift the payload right to make room
+	// for the prefix in front of it (copy is memmove-safe).
+	payload = append(payload, pfx[:pl]...)
+	copy(payload[start+pl:], payload[start:start+n])
+	copy(payload[start:], pfx[:pl])
+	return payload, nil
+}
+
+// NextFrame splits a run of AppendEventFrame-encoded frames into the first
+// event payload and the remaining frames. Malformed framing (bad prefix,
+// zero or over-limit length, short buffer) is an error.
+func NextFrame(frames []byte) (payload, rest []byte, err error) {
+	n, sz := binary.Uvarint(frames)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("trace: bad frame length prefix")
+	}
+	if n == 0 || n > maxTraceItems || uint64(len(frames)-sz) < n {
+		return nil, nil, fmt.Errorf("trace: frame length %d exceeds buffer", n)
+	}
+	return frames[sz : sz+int(n)], frames[sz+int(n):], nil
+}
+
+// DecodeFramePayload decodes one event payload (the bytes NextFrame yields)
+// into e, reusing e's slice capacity exactly like Reader.NextInto.
+func DecodeFramePayload(payload []byte, e *Event) error {
+	return decodeEventInto(payload, e)
+}
+
+// WriteRawFrames appends a run of already-framed events (as produced by
+// AppendEventFrame, or a decompressed segment block) to the trace verbatim,
+// after validating the framing. It is how armus-trace export stitches
+// archived segments back into a single valid trace without re-encoding
+// every event.
+func (tw *Writer) WriteRawFrames(frames []byte) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	for rest := frames; len(rest) > 0; {
+		var err error
+		if _, rest, err = NextFrame(rest); err != nil {
+			tw.err = err
+			return err
+		}
+	}
+	return tw.writeRaw(frames)
+}
+
 // Flush forces any buffered frames through to the underlying writer without
 // closing the stream. Live streams (the armus-serve wire protocol) flush
 // after each batch so the peer observes events promptly; file writers can
