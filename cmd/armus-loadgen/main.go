@@ -67,6 +67,7 @@ func main() {
 		prefix     = flag.String("session-prefix", "lg", "session name prefix")
 		killAfter  = flag.Duration("kill-after", 0, "SIGKILL the -kill-pid process this long into the run (chaos injection)")
 		killPid    = flag.Int("kill-pid", 0, "process to SIGKILL after -kill-after (0 disables)")
+		debugURL   = flag.String("debug-url", "", "armus-serve -http address: fetch and print the server's stage-latency breakdown after the run")
 	)
 	flag.Parse()
 	var fleet []string
@@ -193,6 +194,19 @@ func main() {
 	if lat.Count() > 0 {
 		fmt.Printf("armus-loadgen: gate latency p50=%v p99=%v max=%v over %d round trips\n",
 			lat.Percentile(50), lat.Percentile(99), lat.Max(), lat.Count())
+	}
+	if *debugURL != "" {
+		// Server-side attribution of the latency just measured from the
+		// outside: where a gate's time went (queue wait vs verifier work vs
+		// egress flush).
+		if st, err := client.ServerStages(*debugURL); err != nil {
+			fmt.Fprintf(os.Stderr, "armus-loadgen: server stages: %v\n", err)
+		} else {
+			fmt.Printf("armus-loadgen: server stages: queue-wait p50=%dµs p99=%dµs | verify p50=%dµs p99=%dµs | flush p50=%dµs p99=%dµs\n",
+				st.QueueWait.P50Us, st.QueueWait.P99Us,
+				st.Verify.P50Us, st.Verify.P99Us,
+				st.Flush.P50Us, st.Flush.P99Us)
+		}
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "armus-loadgen: FAILED")

@@ -7,9 +7,11 @@
 //
 //	armus-serve -listen 127.0.0.1:7777 -http 127.0.0.1:7778
 //
-// Observability: GET /healthz (liveness JSON) and GET /metrics
-// (Prometheus text: sessions, events, queue depth, gate verdicts, ...)
-// on the -http address.
+// Observability: GET /healthz (liveness JSON with the executor backlog),
+// GET /metrics (Prometheus text: sessions, events, queue depth, gate
+// verdicts, stage-latency histograms, ...) and GET /debug/armus/sessions
+// (live per-session introspection) on the -http address; /debug/pprof
+// only with -pprof.
 //
 // Lifecycle: SIGINT/SIGTERM drains gracefully (stop accepting, goodbye
 // every client, wait up to -drain-grace, exit 0); a second signal
@@ -17,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -49,7 +52,9 @@ func main() {
 		segMaxA  = flag.Duration("segment-max-age", 0, "rotate/seal a session's segment after this idle age (0 = 5m default)")
 		retainB  = flag.Int64("retain-bytes", 0, "retention: cap total sealed-segment bytes, deleting oldest-first (0 = unlimited)")
 		retainA  = flag.Duration("retain-age", 0, "retention: delete sealed segments older than this (0 = keep forever)")
-		quiet    = flag.Bool("quiet", false, "suppress per-session log lines")
+		slowGate = flag.Duration("slow-gate", 0, "dump a session's flight recorder when a gate's server-side time reaches this (0 disables; rejections always dump)")
+		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof on the -http address (operator networks only)")
+		quiet    = flag.Bool("quiet", false, "suppress per-session log lines (flight-recorder dumps still log)")
 	)
 	flag.Parse()
 
@@ -69,18 +74,37 @@ func main() {
 		SegmentMaxAge:      *segMaxA,
 		SegmentRetainBytes: *retainB,
 		SegmentRetainAge:   *retainA,
+		SlowGate:           *slowGate,
+		Pprof:              *pprofOn,
 	}
 	if *fleetCSV != "" {
 		cfg.Fleet = strings.Split(*fleetCSV, ",")
 	}
 	if *quiet {
 		cfg.Logf = func(string, ...any) {}
+		// Flight-recorder dumps are exceptional, rate-limited diagnostics
+		// (gate rejections, -slow-gate breaches) — they survive -quiet.
+		cfg.DumpLogf = log.Printf
 	}
 	s, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "armus-serve:", err)
 		os.Exit(1)
 	}
+	// Startup banner: one structured line carrying the same fields as the
+	// armus_serve_build_info / armus_serve_uptime_seconds metrics, so log
+	// scrapers and the metrics pipeline agree on what is running.
+	version, goVersion := server.Version()
+	banner, _ := json.Marshal(map[string]any{
+		"msg":     "armus-serve started",
+		"version": version,
+		"go":      goVersion,
+		"pid":     os.Getpid(),
+		"listen":  s.Addr(),
+		"http":    *httpAddr,
+		"pprof":   *pprofOn,
+	})
+	log.Printf("armus-serve: %s", banner)
 	log.Printf("armus-serve: listening on %s (lease %v, batch %d, queue %d)",
 		s.Addr(), *lease, *batch, *queue)
 	if *storeDSN != "" {

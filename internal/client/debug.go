@@ -1,0 +1,41 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"armus/internal/obs"
+)
+
+// ServerStages fetches the server-wide stage-latency breakdown (queue-wait
+// / verify / flush) from an armus-serve debug endpoint. base is the HTTP
+// address the server's -http flag listens on, with or without the scheme
+// ("127.0.0.1:7778" or "http://127.0.0.1:7778").
+//
+// This is the loadgen's post-run attribution hook: the client-side latency
+// histogram says how slow gates were, the server's stage breakdown says
+// WHERE the time went.
+func ServerStages(base string) (obs.Stages, error) {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(base + "/debug/armus/sessions")
+	if err != nil {
+		return obs.Stages{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.Stages{}, fmt.Errorf("client: %s/debug/armus/sessions: %s", base, resp.Status)
+	}
+	var doc struct {
+		Stages obs.Stages `json:"stages"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return obs.Stages{}, fmt.Errorf("client: decoding debug sessions: %w", err)
+	}
+	return doc.Stages, nil
+}

@@ -28,9 +28,12 @@ func microDur(d time.Duration) string {
 // per client count: aggregate ingest throughput (events/sec over the
 // wall clock of the whole fleet) and the gate round-trip latency
 // trajectory (p50/p99/p99.9, from the client SDK's µs-resolution
-// histogram). Parity is asserted while measuring: each client's mirror gate
-// (client.ReplayTrace) must agree with the server decision for decision,
-// so the benchmark doubles as a correctness gate.
+// histogram), plus the SERVER-side stage attribution of that latency —
+// queue-wait / verify / flush p99 from the stage histograms (internal/obs)
+// diffed across the row's measured interval. Parity is asserted while
+// measuring: each client's mirror gate (client.ReplayTrace) must agree
+// with the server decision for decision, so the benchmark doubles as a
+// correctness gate.
 func RunServe(o Options) (*Table, error) {
 	o.defaults()
 	rec := trace.NewRecorder()
@@ -52,12 +55,17 @@ func RunServe(o Options) (*Table, error) {
 	t := &Table{
 		Title: fmt.Sprintf("Serve: %d-event CG trace per client vs a live armus-serve, gated blocks, %d samples",
 			len(tr.Events), o.Samples),
-		Header: []string{"Clients", "Events", "Mean", "CI", "Events/s", "Gate p50", "Gate p99", "Gate p99.9"},
+		Header: []string{"Clients", "Events", "Mean", "CI", "Events/s", "Gate p50", "Gate p99", "Gate p99.9",
+			"QWait p99", "Verify p99", "Flush p99"},
 	}
 	for _, n := range serveClientCounts {
 		var m Measurement
 		var lat client.LatencyHist
 		var submitted int
+		// Server-side stage attribution for this row: diff the cumulative
+		// stage histograms across the row's measured samples (warm-up
+		// included in `before` is excluded from the interval).
+		stageBase := srv.Metrics()
 		for s := 0; s <= o.Samples; s++ {
 			start := time.Now()
 			var wg sync.WaitGroup
@@ -90,7 +98,10 @@ func RunServe(o Options) (*Table, error) {
 				submitted += stats[i].Events
 			}
 			if s == 0 {
-				continue // warm-up discarded (start-up methodology)
+				// Warm-up discarded (start-up methodology); re-anchor the
+				// stage interval so its observations are excluded too.
+				stageBase = srv.Metrics()
+				continue
 			}
 			m.Samples = append(m.Samples, elapsed)
 			// Percentiles are computed over every measured sample's round
@@ -102,6 +113,10 @@ func RunServe(o Options) (*Table, error) {
 			}
 		}
 		perSec := float64(submitted) / m.Mean().Seconds()
+		after := srv.Metrics()
+		qwait := after.StageQueueWait.Sub(stageBase.StageQueueWait)
+		verify := after.StageVerify.Sub(stageBase.StageVerify)
+		flush := after.StageFlush.Sub(stageBase.StageFlush)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", submitted),
@@ -110,6 +125,9 @@ func RunServe(o Options) (*Table, error) {
 			microDur(lat.Percentile(50)),
 			microDur(lat.Percentile(99)),
 			microDur(lat.Percentile(99.9)),
+			microDur(time.Duration(qwait.Percentile(99))),
+			microDur(time.Duration(verify.Percentile(99))),
+			microDur(time.Duration(flush.Percentile(99))),
 		})
 	}
 	t.Fprint(o.Out)

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {999, 0}, {1000, 0},
+		{1001, 1}, {2000, 1},
+		{2001, 2}, {4000, 2},
+		{1000 << 13, 13},
+		{1000<<14 - 1, 14}, {1000 << 14, 14},
+		{1000<<14 + 1, numBounds}, {1 << 62, numBounds},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every non-Inf bucket's upper bound lands in its own bucket.
+	for i := 0; i < numBounds; i++ {
+		if got := bucketOf(BucketBound(i)); got != i {
+			t.Errorf("bucketOf(BucketBound(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHistObserveSnapshotPercentile(t *testing.T) {
+	var h Hist
+	// 90 fast (≤1µs), 9 medium (~100µs bucket), 1 slow (5ms).
+	for i := 0; i < 90; i++ {
+		h.Observe(500)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(100_000)
+	}
+	h.Observe(5_000_000)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	wantSum := int64(90*500 + 9*100_000 + 5_000_000)
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	if s.Max != 5_000_000 {
+		t.Fatalf("max = %d, want 5000000", s.Max)
+	}
+	if p := s.Percentile(50); p != BucketBound(0) {
+		t.Fatalf("p50 = %d, want %d (the ≤1µs bucket)", p, BucketBound(0))
+	}
+	// p95 falls among the 100µs observations: bucket bound 128µs.
+	if p := s.Percentile(95); p != 128_000 {
+		t.Fatalf("p95 = %d, want 128000", p)
+	}
+	// p100 is the slow outlier's bucket bound (8192µs).
+	if p := s.Percentile(100); p != 8_192_000 {
+		t.Fatalf("p100 = %d, want 8192000", p)
+	}
+	if m := s.Mean(); m != wantSum/100 {
+		t.Fatalf("mean = %d, want %d", m, wantSum/100)
+	}
+}
+
+func TestHistPercentileInfBucketReportsMax(t *testing.T) {
+	var h Hist
+	h.Observe(int64(30 * time.Second)) // beyond every bound
+	s := h.Snapshot()
+	if p := s.Percentile(99); p != int64(30*time.Second) {
+		t.Fatalf("+Inf-bucket percentile = %d, want the max", p)
+	}
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	var h Hist
+	h.Observe(500)
+	h.Observe(3000)
+	before := h.Snapshot()
+	h.Observe(500)
+	h.Observe(100_000)
+	d := h.Snapshot().Sub(before)
+	if d.Count != 2 {
+		t.Fatalf("interval count = %d, want 2", d.Count)
+	}
+	if d.Sum != 100_500 {
+		t.Fatalf("interval sum = %d, want 100500", d.Sum)
+	}
+	if d.Buckets[0] != 1 {
+		t.Fatalf("interval fast bucket = %d, want 1", d.Buckets[0])
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	var f FlightRecorder
+	if f.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", f.Len())
+	}
+	const total = FlightRecords*2 + 7
+	for i := 1; i <= total; i++ {
+		f.Record(GateRecord{
+			Ordinal:  uint64(i),
+			Kind:     RecordGate,
+			Task:     int64(i * 10),
+			Rejected: i%2 == 0,
+			QueueNs:  int64(i),
+			VerifyNs: int64(i * 2),
+			AtNs:     int64(i * 3),
+		})
+	}
+	if f.Len() != FlightRecords {
+		t.Fatalf("full ring Len = %d, want %d", f.Len(), FlightRecords)
+	}
+	got := f.Snapshot(nil)
+	if len(got) != FlightRecords {
+		t.Fatalf("snapshot holds %d records, want %d", len(got), FlightRecords)
+	}
+	for i, r := range got {
+		want := total - FlightRecords + 1 + i // oldest-first
+		if r.Ordinal != uint64(want) {
+			t.Fatalf("record %d: ordinal %d, want %d", i, r.Ordinal, want)
+		}
+		if r.Task != int64(want*10) || r.QueueNs != int64(want) ||
+			r.VerifyNs != int64(want*2) || r.AtNs != int64(want*3) {
+			t.Fatalf("record %d round-trip mismatch: %+v", i, r)
+		}
+		if r.Rejected != (want%2 == 0) || r.Kind != RecordGate {
+			t.Fatalf("record %d flags mismatch: %+v", i, r)
+		}
+	}
+}
+
+// TestFlightRecorderConcurrentReaders hammers the ring from one writer and
+// several snapshotting readers; under -race this is the proof the
+// lock-free ring is data-race-free, and every returned record must be
+// internally consistent (the fields of ONE Record call, checkable because
+// each record's fields are derived from its ordinal).
+func TestFlightRecorderConcurrentReaders(t *testing.T) {
+	var f FlightRecorder
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []GateRecord
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = f.Snapshot(buf)
+				for _, rec := range buf {
+					if rec.QueueNs != int64(rec.Ordinal) || rec.VerifyNs != int64(rec.Ordinal*2) {
+						t.Errorf("torn record: %+v", rec)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 1; i <= 200_000; i++ {
+		f.Record(GateRecord{Ordinal: uint64(i), Kind: RecordGate,
+			QueueNs: int64(i), VerifyNs: int64(i * 2)})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestStampPathZeroAlloc is the obs half of the ingest path's
+// zero-allocation guarantee: a stamp, three histogram observations, a
+// counter bump and a flight record — the exact per-gate obs work the
+// executor does — allocate nothing.
+func TestStampPathZeroAlloc(t *testing.T) {
+	var o SessionObs
+	n := testing.AllocsPerRun(1000, func() {
+		t0 := Nanotime()
+		o.QueueWait.Observe(1500)
+		o.Verify.Observe(Nanotime() - t0)
+		o.Flush.Observe(300)
+		ord := o.Gates.Add(1)
+		o.Flight.Record(GateRecord{
+			Ordinal: uint64(ord), Kind: RecordGate, Task: 7,
+			QueueNs: 1500, VerifyNs: 10, AtNs: t0,
+		})
+		o.LastDeadlocked.Store(false)
+	})
+	if n != 0 {
+		t.Fatalf("obs stamp path allocates %.1f per gate, want 0", n)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[uint8]string{
+		RecordGate: "gate", RecordCheckpoint: "checkpoint",
+		RecordReport: "report", 99: "unknown",
+	} {
+		if got := KindString(k); got != want {
+			t.Errorf("KindString(%d) = %q, want %q", k, got, want)
+		}
+	}
+}

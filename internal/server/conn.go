@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"armus/internal/core"
+	"armus/internal/obs"
 	"armus/internal/segment"
 	"armus/internal/server/proto"
 	"armus/internal/trace"
@@ -51,6 +52,10 @@ type conn struct {
 	wsig       chan struct{}
 	done       chan struct{} // closed by the handler when the read side ends
 	writerDone chan struct{}
+	// wfirstNs stamps (under wmu) when the oldest response of the current
+	// coalesce buffer was encoded; the writer turns it into the flush-stage
+	// latency — how long a verdict sat buffered before its syscall finished.
+	wfirstNs int64
 
 	// Tee coalescing (read-loop local): pending archive frames for the
 	// segment store, flushed by size/age in tee() and at read-loop end.
@@ -158,6 +163,7 @@ func (s *Server) handleConn(nc net.Conn) {
 			}
 		}
 		if b.n > 0 {
+			b.decNs = obs.Nanotime()
 			if s.seg != nil {
 				c.tee(sess, b)
 			}
@@ -254,6 +260,9 @@ func (c *conn) send(r proto.Response) bool {
 		return false
 	}
 	c.wbuf = b
+	if c.wcount == 0 {
+		c.wfirstNs = obs.Nanotime()
+	}
 	c.wcount++
 	over := c.wcount > c.srv.cfg.QueueLen
 	c.wmu.Unlock()
@@ -295,13 +304,24 @@ func (c *conn) writeLoop() {
 	flush := func() {
 		c.wmu.Lock()
 		buf := c.wbuf
+		first := c.wfirstNs
 		c.wbuf = spare[:0]
 		c.wcount = 0
+		c.wfirstNs = 0
 		c.wmu.Unlock()
 		if len(buf) > 0 && !broken {
 			if _, err := c.nc.Write(buf); err != nil {
 				broken = true
 				c.nc.Close()
+			}
+			// Flush stage: oldest buffered response to syscall completion.
+			// One observation per flush — the coalescing is the point.
+			if first != 0 {
+				ns := obs.Nanotime() - first
+				c.srv.m.StageFlush.Observe(ns)
+				if ss := c.sess; ss != nil {
+					ss.ob.Flush.Observe(ns)
+				}
 			}
 		}
 		spare = buf[:0]

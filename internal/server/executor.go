@@ -1,10 +1,13 @@
 package server
 
 import (
+	"encoding/json"
 	"runtime"
+	"time"
 
 	"armus/internal/core"
 	"armus/internal/deps"
+	"armus/internal/obs"
 	"armus/internal/server/proto"
 	"armus/internal/trace"
 )
@@ -37,6 +40,11 @@ const (
 // not miss it, the executor unparks itself. Either way the batch is
 // processed.
 func (ss *session) enqueue(b *batch) {
+	if b.decNs == 0 {
+		// No read-loop decode stamp (tests, internal injection): the
+		// queue-wait stage starts here.
+		b.enqNs = obs.Nanotime()
+	}
 	ss.q.push(b)
 	if ss.execState.Load() == execParked &&
 		ss.execState.CompareAndSwap(execParked, execRunning) {
@@ -109,6 +117,21 @@ func (ss *session) drainQueue() {
 // Steady-state (same tasks re-blocking, warm pools and buffers) it
 // performs zero heap allocations — guarded by TestExecutorPathZeroAlloc.
 func (ss *session) process(b *batch) {
+	// Queue-wait stage: decode (or enqueue) to executor pickup. The stamp
+	// diffs and histogram adds are a handful of atomics — the path stays
+	// allocation-free (TestExecutorPathZeroAlloc, TestObsStampPathZeroAlloc).
+	tDeq := obs.Nanotime()
+	start := b.decNs
+	if start == 0 {
+		start = b.enqNs
+	}
+	if start != 0 {
+		ss.batchQueueNs = tDeq - start
+		ss.srv.m.StageQueueWait.Observe(ss.batchQueueNs)
+		ss.ob.QueueWait.Observe(ss.batchQueueNs)
+	} else {
+		ss.batchQueueNs = 0
+	}
 	c := b.c
 	events := b.events[:b.n]
 	for i := range events {
@@ -130,12 +153,24 @@ func (ss *session) process(b *batch) {
 			// whether the session is deadlocked right now". (Recorded
 			// traces carry verdict events too; ingesting one costs the
 			// sender an answer it may ignore.)
+			t0 := obs.Nanotime()
 			c.checkSeq++
 			ss.srv.m.Checkpoints.Add(1)
+			d := ss.verdict()
 			c.send(proto.Response{
 				Kind:       proto.RespVerdict,
 				Seq:        c.checkSeq,
-				Deadlocked: ss.verdict(),
+				Deadlocked: d,
+			})
+			ss.ob.LastDeadlocked.Store(d)
+			ss.ob.Flight.Record(obs.GateRecord{
+				Ordinal:    uint64(ss.ob.Checkpoints.Add(1)),
+				Kind:       obs.RecordCheckpoint,
+				Task:       int64(e.Task),
+				Deadlocked: d,
+				QueueNs:    ss.batchQueueNs,
+				VerifyNs:   obs.Nanotime() - t0,
+				AtNs:       t0,
 			})
 		default:
 			// Structural events (register/arrive/drop) do not mutate the
@@ -148,6 +183,11 @@ func (ss *session) process(b *batch) {
 		ss.report()
 	}
 	ss.maybeSnapshot()
+	// Verify stage: executor occupancy for the whole batch (gate queries,
+	// state mutation, reports, snapshot encode).
+	verifyNs := obs.Nanotime() - tDeq
+	ss.srv.m.StageVerify.Observe(verifyNs)
+	ss.ob.Verify.Observe(verifyNs)
 	ss.srv.m.Events.Add(int64(len(events)))
 	ss.srv.m.Batches.Add(1)
 	ss.srv.m.observeBatch(len(events))
@@ -160,12 +200,27 @@ func (ss *session) process(b *batch) {
 // blocking task, roll back and refuse on a cycle. The decision goes back
 // to the submitting connection only.
 func (ss *session) gate(c *conn, e *trace.Event) {
+	t0 := obs.Nanotime()
 	ss.st.SetBlocked(e.Status)
 	cyc, _ := ss.st.CycleThrough(e.Status.Task, &ss.sc)
 	if cyc == nil {
 		ss.blocked[e.Status.Task] = struct{}{}
 		ss.srv.m.GateAllowed.Add(1)
 		c.send(proto.Response{Kind: proto.RespGate, Task: e.Status.Task, Allowed: true})
+		rec := obs.GateRecord{
+			Ordinal:  uint64(ss.ob.Gates.Add(1)),
+			Kind:     obs.RecordGate,
+			Task:     int64(e.Status.Task),
+			QueueNs:  ss.batchQueueNs,
+			VerifyNs: obs.Nanotime() - t0,
+			AtNs:     t0,
+		}
+		ss.ob.Flight.Record(rec)
+		// Slow-gate trigger: server-side time (queue wait plus this gate's
+		// own work) over the operator threshold dumps the flight ring.
+		if sg := ss.srv.cfg.SlowGate; sg > 0 && rec.QueueNs+rec.VerifyNs >= int64(sg) {
+			ss.dumpFlight("slow-gate", rec)
+		}
 		return
 	}
 	ss.st.Clear(e.Status.Task)
@@ -182,6 +237,18 @@ func (ss *session) gate(c *conn, e *trace.Event) {
 		Tasks:     cyc.Tasks,
 		Resources: cyc.Resources,
 	})
+	rec := obs.GateRecord{
+		Ordinal:  uint64(ss.ob.Gates.Add(1)),
+		Kind:     obs.RecordGate,
+		Task:     int64(e.Status.Task),
+		Rejected: true,
+		QueueNs:  ss.batchQueueNs,
+		VerifyNs: obs.Nanotime() - t0,
+		AtNs:     t0,
+	}
+	ss.ob.Rejections.Add(1)
+	ss.ob.Flight.Record(rec)
+	ss.dumpFlight("gate-rejected", rec)
 }
 
 // verdict answers "is the session state deadlocked right now" with the
@@ -222,6 +289,56 @@ func (ss *session) report() {
 			}
 		}
 		ss.mu.Unlock()
+		now := obs.Nanotime()
+		ss.ob.Flight.Record(obs.GateRecord{
+			Ordinal:    uint64(ss.ob.Reports.Add(1)),
+			Kind:       obs.RecordReport,
+			Deadlocked: true,
+			QueueNs:    ss.batchQueueNs,
+			AtNs:       now,
+		})
 	}
+	ss.ob.LastDeadlocked.Store(d)
 	ss.wasDeadlocked = d
+}
+
+// flightDumpMinGap rate-limits flight-recorder dumps per session: a storm
+// of rejections (one contended phaser, many tasks) emits one dump per gap,
+// not one per gate.
+const flightDumpMinGap = int64(100 * time.Millisecond)
+
+// flightDump is the structured record a slow or rejected gate emits: the
+// triggering decision plus the session's whole flight ring, with the
+// session name and per-kind ordinals that `armus-trace query -session
+// <name>` resolves back to the archived events.
+type flightDump struct {
+	Session string           `json:"session"`
+	Mode    string           `json:"mode"`
+	Trigger string           `json:"trigger"` // "slow-gate" | "gate-rejected"
+	Record  obs.GateRecord   `json:"record"`
+	Ring    []obs.GateRecord `json:"ring"`
+}
+
+// dumpFlight emits the session's flight ring as one structured JSON log
+// line. Runs on the executor, off the steady-state path (rejections and
+// threshold breaches only) — allocation here is acceptable, a dump storm
+// is not, hence the rate limit.
+func (ss *session) dumpFlight(trigger string, rec obs.GateRecord) {
+	now := obs.Nanotime()
+	if ss.lastDumpNs != 0 && now-ss.lastDumpNs < flightDumpMinGap {
+		return
+	}
+	ss.lastDumpNs = now
+	ss.flightBuf = ss.ob.Flight.Snapshot(ss.flightBuf)
+	j, err := json.Marshal(flightDump{
+		Session: ss.name,
+		Mode:    ss.mode.String(),
+		Trigger: trigger,
+		Record:  rec,
+		Ring:    ss.flightBuf,
+	})
+	if err != nil {
+		return
+	}
+	ss.srv.cfg.DumpLogf("armus-serve: flight-recorder %s", j)
 }

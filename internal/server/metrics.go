@@ -3,10 +3,24 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sync/atomic"
+	"time"
 
+	"armus/internal/obs"
 	"armus/internal/segment"
 )
+
+// Version reports the build's module version and Go toolchain version —
+// the labels of armus_serve_build_info and the armus-serve startup banner.
+func Version() (version, goVersion string) {
+	version = "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	return version, runtime.Version()
+}
 
 // batchBucketBounds are the upper bounds (inclusive, in events) of the
 // executor batch-size histogram; a final implicit +Inf bucket catches the
@@ -50,6 +64,16 @@ type Metrics struct {
 	// The executor batch-size histogram (events per processed batch).
 	batchBuckets [batchBucketCount]atomic.Int64
 	batchSum     atomic.Int64
+
+	// Server-wide stage-latency histograms (internal/obs): where a gate's
+	// server-side time goes. Always on — each observation is a few atomic
+	// adds on the executor (queue-wait, verify) or the connection writer
+	// (flush). Per-session copies live in session.ob; these aggregate
+	// across sessions and survive session GC, which is what a Prometheus
+	// scrape needs (monotone cumulative series).
+	StageQueueWait obs.Hist // decode/enqueue -> executor pickup, per batch
+	StageVerify    obs.Hist // executor occupancy, per batch
+	StageFlush     obs.Hist // oldest buffered response -> write() done, per flush
 }
 
 // observeBatch records one processed batch of n events.
@@ -86,6 +110,12 @@ type MetricsSnapshot struct {
 	// Segment snapshots the durable trace archive's counters (all zero
 	// when archiving is disabled).
 	Segment segment.MetricsSnapshot
+	// Stage-latency histograms (see Metrics.Stage*).
+	StageQueueWait obs.HistSnapshot
+	StageVerify    obs.HistSnapshot
+	StageFlush     obs.HistSnapshot
+	// UptimeSeconds is seconds since the server was constructed.
+	UptimeSeconds int64
 }
 
 // Metrics returns a snapshot of the counters plus the summed egress and
@@ -118,24 +148,40 @@ func (s *Server) Metrics() MetricsSnapshot {
 		snap.BatchBuckets[i] = s.m.batchBuckets[i].Load()
 	}
 	snap.Segment = s.segMetrics()
+	snap.StageQueueWait = s.m.StageQueueWait.Snapshot()
+	snap.StageVerify = s.m.StageVerify.Snapshot()
+	snap.StageFlush = s.m.StageFlush.Snapshot()
+	snap.UptimeSeconds = int64(time.Since(s.startTime) / time.Second)
 	s.mu.Lock()
 	for c := range s.conns {
 		snap.QueueDepth += int64(c.queueDepth())
 	}
 	s.mu.Unlock()
+	snap.ExecQueueDepth = s.execQueueDepth()
+	return snap
+}
+
+// execQueueDepth sums the executor ingest backlog (queued batches) over
+// open sessions — the quiescence gauge /healthz reports even while
+// draining, so an orchestrator can tell "draining, work pending" from
+// "draining, quiesced".
+func (s *Server) execQueueDepth() int64 {
+	var depth int64
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for _, ss := range sh.m {
-			snap.ExecQueueDepth += ss.q.depth.Load()
+			depth += ss.q.depth.Load()
 		}
 		sh.mu.Unlock()
 	}
-	return snap
+	return depth
 }
 
 // Handler returns the HTTP observability surface: GET /healthz (liveness
-// plus a small JSON status) and GET /metrics (Prometheus text format).
+// plus a small JSON status), GET /metrics (Prometheus text format),
+// GET /debug/armus/sessions (live per-session introspection, debug.go)
+// and — only with Config.Pprof — /debug/pprof.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -144,13 +190,17 @@ func (s *Server) Handler() http.Handler {
 		s.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
 		if draining {
+			// Still report the executor backlog: exec_queue_depth reaching 0
+			// is the quiescence signal a drain orchestrator polls for
+			// (replacing "sleep and hope" kill windows).
 			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintf(w, `{"status":"draining"}`+"\n")
+			fmt.Fprintf(w, `{"status":"draining","exec_queue_depth":%d}`+"\n",
+				s.execQueueDepth())
 			return
 		}
 		snap := s.Metrics()
-		fmt.Fprintf(w, `{"status":"ok","sessions":%d,"conns":%d,"events":%d}`+"\n",
-			snap.SessionsOpen, snap.ConnsOpen, snap.Events)
+		fmt.Fprintf(w, `{"status":"ok","sessions":%d,"conns":%d,"events":%d,"exec_queue_depth":%d}`+"\n",
+			snap.SessionsOpen, snap.ConnsOpen, snap.Events, snap.ExecQueueDepth)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.Metrics()
@@ -211,6 +261,36 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", hname, cum)
 		fmt.Fprintf(w, "%s_sum %d\n", hname, snap.BatchSum)
 		fmt.Fprintf(w, "%s_count %d\n", hname, cum)
+		// The per-stage latency histograms (µs buckets).
+		writeStageHist(w, "armus_serve_stage_queue_wait_us",
+			"Batch queue wait: decode/enqueue to executor pickup, µs.", snap.StageQueueWait)
+		writeStageHist(w, "armus_serve_stage_verify_us",
+			"Batch verify: executor occupancy per batch, µs.", snap.StageVerify)
+		writeStageHist(w, "armus_serve_stage_flush_us",
+			"Response flush: oldest buffered response to write completion, µs.", snap.StageFlush)
+		version, goVersion := Version()
+		fmt.Fprintf(w, "# HELP armus_serve_build_info Build metadata (always 1).\n"+
+			"# TYPE armus_serve_build_info gauge\n"+
+			"armus_serve_build_info{version=%q,go=%q} 1\n", version, goVersion)
+		fmt.Fprintf(w, "# HELP armus_serve_uptime_seconds Seconds since the server started.\n"+
+			"# TYPE armus_serve_uptime_seconds gauge\n"+
+			"armus_serve_uptime_seconds %d\n", snap.UptimeSeconds)
 	})
+	s.registerDebug(mux)
 	return mux
+}
+
+// writeStageHist renders one obs histogram in Prometheus text convention:
+// cumulative µs buckets, _sum in µs, _count.
+func writeStageHist(w http.ResponseWriter, name, help string, h obs.HistSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := int64(0)
+	for i := 0; i < obs.NumBuckets-1; i++ {
+		cum += h.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, obs.BucketBound(i)/1000, cum)
+	}
+	cum += h.Buckets[obs.NumBuckets-1]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum/1000)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 }

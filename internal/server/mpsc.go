@@ -16,6 +16,14 @@ type batch struct {
 	events []trace.Event // backing array, len == Config.MaxBatch
 	n      int           // events[:n] are valid
 	next   atomic.Pointer[batch]
+
+	// Stage-timing stamps (internal/obs Nanotime): decNs is taken by the
+	// read loop right after the batch is decoded, enqNs by enqueue right
+	// before the push. The executor's queue-wait observation prefers decNs
+	// (it includes the tee and the enqueue itself) and falls back to enqNs
+	// for batches injected without a read loop (tests, drains).
+	decNs int64
+	enqNs int64
 }
 
 // mpsc is an intrusive Vyukov-style multi-producer single-consumer queue

@@ -145,12 +145,26 @@ type Config struct {
 	// older than the age. Zero disables that policy (keep everything).
 	SegmentRetainBytes int64
 	SegmentRetainAge   time.Duration
+	// SlowGate dumps a session's flight recorder (a structured JSON log
+	// line with the last obs.FlightRecords decisions) whenever a gate's
+	// server-side time — queue wait plus its own verifier work — reaches
+	// this threshold. Zero disables the threshold; rejected gates always
+	// dump. Dumps are rate-limited per session.
+	SlowGate time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof on the Handler. Off
+	// by default: the profile endpoints can stall the process and belong
+	// on an operator-only listener (see docs/OPERATIONS.md).
+	Pprof bool
 	// Clock drives the janitor and the shutdown drain (default the real
 	// clock; tests inject clock.NewFake and step it).
 	Clock clock.Clock
 	// Logf receives operational log lines (default log.Printf; tests
 	// silence it).
 	Logf func(format string, args ...any)
+	// DumpLogf receives flight-recorder dumps (default Logf). armus-serve
+	// points it at log.Printf even under -quiet: dumps are exceptional,
+	// rate-limited diagnostics, not per-session chatter.
+	DumpLogf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +198,9 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
+	if c.DumpLogf == nil {
+		c.DumpLogf = c.Logf
+	}
 	return c
 }
 
@@ -212,6 +229,8 @@ type Server struct {
 	seg *segment.Store
 
 	m Metrics
+	// startTime anchors armus_serve_uptime_seconds.
+	startTime time.Time
 
 	mu       sync.Mutex
 	conns    map[*conn]struct{}
@@ -246,6 +265,7 @@ func New(cfg Config) (*Server, error) {
 		conns:     make(map[*conn]struct{}),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
+		startTime: time.Now(),
 	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*session)

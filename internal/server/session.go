@@ -6,6 +6,7 @@ import (
 
 	"armus/internal/core"
 	"armus/internal/deps"
+	"armus/internal/obs"
 )
 
 // session is one tenant: a named verifier state shared by every
@@ -51,6 +52,19 @@ type session struct {
 	// Executor-owned.
 	ver           *core.Verifier
 	wasDeadlocked bool
+
+	// ob is the session's observability block: stage histograms, decision
+	// counters and the flight ring — atomics throughout, written by the
+	// executor (plus the connection writers for the flush stage), read by
+	// the /debug handler and metrics scrapes.
+	ob obs.SessionObs
+	// batchQueueNs is the queue-wait of the batch currently being
+	// processed, attributed to each of its gate records. Executor-owned.
+	batchQueueNs int64
+	// lastDumpNs rate-limits flight-recorder dumps; flightBuf is the dump's
+	// reusable snapshot scratch. Executor-owned (dumps run on the executor).
+	lastDumpNs int64
+	flightBuf  []obs.GateRecord
 
 	// Snapshot-persistence bookkeeping (persist.go); executor-owned and
 	// untouched without a configured store. curSnap/baseSnap alternate as
